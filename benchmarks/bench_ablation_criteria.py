@@ -1,0 +1,68 @@
+"""Ablation A — selection-criteria ordering.
+
+DESIGN.md calls out the Section 3.4 comparator as the router's core design
+choice.  This bench routes the same dataset under three regimes:
+
+* full timing-driven criteria (the paper's router),
+* density-only criteria (timing criteria disabled — the unconstrained
+  baseline's comparator), and
+* delay-criteria-only (density conditions neutralized via a degenerate
+  technology where every channel looks identical is impractical, so we
+  approximate by disabling the improvement phases and measuring the
+  initial loop).
+
+Shape expectation: the full comparator never loses on delay to the
+density-only one, and the density-only one never loses on peak density.
+"""
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+
+
+def route(dataset_spec, config, constrained=True):
+    dataset = make_dataset(dataset_spec)
+    constraints = dataset.constraints if constrained else []
+    router = GlobalRouter(
+        dataset.circuit, dataset.placement, dataset.constraints, config
+    )
+    result = router.route()
+    return router, result
+
+
+@pytest.mark.bench
+def test_ablation_selection_criteria(benchmark, s1_spec):
+    def run_both():
+        timing_router, timing_result = route(s1_spec, RouterConfig())
+        density_router, density_result = route(
+            s1_spec, RouterConfig().unconstrained()
+        )
+        return (
+            timing_router, timing_result, density_router, density_result
+        )
+
+    timing_router, timing_result, density_router, density_result = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+
+    # Delay: timing criteria win or tie (estimated, pre-channel-routing).
+    assert (
+        timing_result.critical_delay_ps
+        <= density_result.critical_delay_ps * 1.02
+    )
+    # Density: the density-only comparator cannot be beaten badly.
+    assert (
+        density_router.engine.total_peak()
+        <= timing_router.engine.total_peak() * 1.15 + 2
+    )
+    benchmark.extra_info["timing_delay_ps"] = round(
+        timing_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["density_delay_ps"] = round(
+        density_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["timing_peak"] = timing_router.engine.total_peak()
+    benchmark.extra_info["density_peak"] = (
+        density_router.engine.total_peak()
+    )

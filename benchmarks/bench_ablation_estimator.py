@@ -1,0 +1,55 @@
+"""Ablation E — tentative-tree estimator: shortest-path union vs Steiner.
+
+The paper estimates wire length with the union of driver→sink shortest
+paths (Section 3.2).  The KMB Steiner estimator is never longer but much
+slower; this bench quantifies both sides of that trade-off on a full
+routing run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+
+
+@pytest.mark.bench
+def test_ablation_tree_estimator(benchmark, s1_spec):
+    results = {}
+
+    def run(estimator):
+        dataset = make_dataset(s1_spec)
+        router = GlobalRouter(
+            dataset.circuit, dataset.placement, dataset.constraints,
+            RouterConfig(tree_estimator=estimator),
+        )
+        return router.route()
+
+    def run_both():
+        return run("spt"), run("steiner")
+
+    spt_result, steiner_result = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    benchmark.extra_info["spt_delay_ps"] = round(
+        spt_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["steiner_delay_ps"] = round(
+        steiner_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["spt_cpu_s"] = round(spt_result.cpu_seconds, 3)
+    benchmark.extra_info["steiner_cpu_s"] = round(
+        steiner_result.cpu_seconds, 3
+    )
+    # Same converged-tree semantics: both finish completely.
+    assert set(spt_result.routes) == set(steiner_result.routes)
+    # Steiner estimation costs substantially more CPU.
+    assert steiner_result.cpu_seconds >= spt_result.cpu_seconds
+    # Final results stay in the same ballpark (the estimator only guides
+    # deletion order; the final trees are exact either way).
+    ratio = (
+        steiner_result.critical_delay_ps / spt_result.critical_delay_ps
+    )
+    assert 0.8 <= ratio <= 1.2

@@ -1,0 +1,63 @@
+"""Ablation C — feed-cell insertion and the P1-vs-P2 spacing effect.
+
+The paper built the P2 placements ("moving the feed cells aside in the
+cell rows") precisely "to test the even spacing effect of feed-cell
+insertion".  This bench (a) compares P1 vs P2 and (b) starves a placement
+of feed cells to exercise the Section 4.3 completeness guarantee.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.bench.runner import run_dataset
+
+
+@pytest.mark.bench
+def test_ablation_p1_vs_p2(benchmark, suite_specs):
+    p1_spec, p2_spec = suite_specs[0], suite_specs[1]
+    assert p1_spec.circuit is p2_spec.circuit
+
+    def run_both():
+        p1, *_ = run_dataset(p1_spec, True)
+        p2, *_ = run_dataset(p2_spec, True)
+        return p1, p2
+
+    p1, p2 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["p1_delay"] = round(p1.delay_ps, 1)
+    benchmark.extra_info["p2_delay"] = round(p2.delay_ps, 1)
+    benchmark.extra_info["p1_area"] = round(p1.area_mm2, 4)
+    benchmark.extra_info["p2_area"] = round(p2.area_mm2, 4)
+    # Same circuit, so results must be in the same ballpark; P2 must not
+    # be dramatically better than the intended P1 style.
+    assert 0.8 <= p2.delay_ps / p1.delay_ps <= 1.25
+    assert 0.8 <= p2.area_mm2 / p1.area_mm2 <= 1.25
+
+
+@pytest.mark.bench
+def test_ablation_feed_starvation(benchmark, s1_spec):
+    """Insertion must rescue a starved placement, at bounded area cost."""
+    starved_spec = dataclasses.replace(s1_spec, feed_fraction=0.01)
+
+    def run_starved():
+        record, global_result, report, dataset = run_dataset(
+            starved_spec, True
+        )
+        return record, global_result
+
+    record, global_result = benchmark.pedantic(
+        run_starved, rounds=1, iterations=1
+    )
+    assert global_result.feed_cells_inserted > 0
+    assert global_result.chip_widened_columns > 0
+    normal, *_ = run_dataset(s1_spec, True)
+    benchmark.extra_info["inserted"] = global_result.feed_cells_inserted
+    benchmark.extra_info["widened_columns"] = (
+        global_result.chip_widened_columns
+    )
+    benchmark.extra_info["area_starved"] = round(record.area_mm2, 4)
+    benchmark.extra_info["area_normal"] = round(normal.area_mm2, 4)
+    # The rescued chip stays within a moderate area factor of the
+    # well-provisioned one.
+    assert record.area_mm2 <= normal.area_mm2 * 1.4

@@ -1,0 +1,82 @@
+"""Ablation F — multi-pitch clock width vs RC skew (Section 4.2).
+
+"Multi-pitch wires are required to reduce wire resistance and skews for
+very large fan-out nets like a clock."  Two measurements:
+
+* **controlled**: the routed clock tree is held fixed and only its wire
+  width is swept — the resistive term falls as ``1/w``, so the Elmore
+  skew must decrease monotonically;
+* **end-to-end**: the chip is re-routed per width — the corridor and
+  route may change, so the bench only reports (not asserts) those skews.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.skew import net_skew
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+from repro.tech import Technology
+from repro.timing.delay_model import ElmoreDelayModel, WireSegment
+
+
+def _reskew_with_width(circuit, route, width, model):
+    """Elmore skew of an existing tree re-evaluated at another width."""
+    net = circuit.net(route.net_name)
+    sink_caps = {}
+    by_name = {pin.full_name: pin.fanin_pf for pin in net.sinks}
+    for index, name in enumerate(route.sink_pin_names):
+        sink_caps[index] = by_name.get(name, 0.0)
+    segments = [
+        WireSegment(
+            parent=seg.parent,
+            length_um=seg.length_um,
+            width_pitches=width,
+            sink_index=seg.sink_index,
+        )
+        for seg in route.elmore_segments
+    ]
+    delays = model.elmore_delays_ps(segments, sink_caps)
+    values = list(delays.values())
+    return max(values) - min(values)
+
+
+@pytest.mark.bench
+def test_ablation_clock_width_vs_skew(benchmark, s1_spec):
+    model = ElmoreDelayModel(Technology())
+
+    def run_and_sweep():
+        dataset = make_dataset(s1_spec)
+        router = GlobalRouter(
+            dataset.circuit, dataset.placement, dataset.constraints,
+            RouterConfig(),
+        )
+        result = router.route()
+        clock_route = result.routes["clk"]
+        controlled = {
+            width: _reskew_with_width(
+                dataset.circuit, clock_route, width, model
+            )
+            for width in (1, 2, 3, 4)
+        }
+        end_to_end = net_skew(dataset.circuit, result, "clk", model)
+        return controlled, end_to_end
+
+    controlled, end_to_end = benchmark.pedantic(
+        run_and_sweep, rounds=1, iterations=1
+    )
+    benchmark.extra_info["controlled_skew_ps"] = {
+        str(width): round(value, 4)
+        for width, value in controlled.items()
+    }
+    benchmark.extra_info["routed_skew_ps"] = round(end_to_end.skew_ps, 4)
+    print()
+    for width, value in sorted(controlled.items()):
+        print(f"  clock at {width} pitch (same tree): "
+              f"skew {value:8.4f} ps")
+    # The Section 4.2 claim, isolated: wider wire, smaller skew.
+    assert controlled[2] <= controlled[1] + 1e-9
+    assert controlled[3] <= controlled[2] + 1e-9
+    assert controlled[4] <= controlled[3] + 1e-9
+    assert controlled[4] < controlled[1]

@@ -1,0 +1,62 @@
+"""Ablation B — the Section 3.5 improvement phases on/off.
+
+Routes the same dataset with the three rip-up phases enabled vs disabled
+and reports the delta.  The guarded reroutes guarantee monotonicity: the
+phased run can only match or improve the phase metrics.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+
+
+@pytest.mark.bench
+def test_ablation_improvement_phases(benchmark, s1_spec):
+    full_config = RouterConfig()
+    bare_config = dataclasses.replace(
+        full_config,
+        run_violation_recovery=False,
+        run_delay_improvement=False,
+        run_area_improvement=False,
+    )
+
+    def run_both():
+        results = {}
+        for label, config in (("full", full_config), ("bare", bare_config)):
+            dataset = make_dataset(s1_spec)
+            router = GlobalRouter(
+                dataset.circuit, dataset.placement, dataset.constraints,
+                config,
+            )
+            results[label] = (router, router.route())
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    full_router, full_result = results["full"]
+    bare_router, bare_result = results["bare"]
+
+    assert bare_result.reroutes == 0
+    assert full_result.reroutes >= 0
+    # Violation mass never worse with phases on.
+    full_violation = sum(
+        max(0.0, -m) for m in full_result.constraint_margins.values()
+    )
+    bare_violation = sum(
+        max(0.0, -m) for m in bare_result.constraint_margins.values()
+    )
+    assert full_violation <= bare_violation + 1e-6
+    # Peak density never worse (area phase is guarded).
+    assert (
+        full_router.engine.total_peak()
+        <= bare_router.engine.total_peak()
+    )
+    benchmark.extra_info["delay_full"] = round(
+        full_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["delay_bare"] = round(
+        bare_result.critical_delay_ps, 1
+    )
+    benchmark.extra_info["reroutes"] = full_result.reroutes

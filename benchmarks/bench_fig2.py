@@ -1,0 +1,45 @@
+"""Fig. 2 — the global-routing algorithm outline.
+
+Benchmarks one full constrained routing run and verifies the phase trace
+follows the paper's flow: assignment (line 01) → graph construction
+(02-04) → initial edge-deletion loop (05-07) → the three improvement
+loops (08-10).
+"""
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+
+
+@pytest.mark.bench
+def test_fig2_phase_flow(benchmark, s1_spec):
+    def route_once():
+        dataset = make_dataset(s1_spec)
+        router = GlobalRouter(
+            dataset.circuit,
+            dataset.placement,
+            dataset.constraints,
+            RouterConfig(),
+        )
+        return router.route()
+
+    result = benchmark.pedantic(route_once, rounds=2, iterations=1)
+    phases = [event.phase for event in result.phase_log]
+
+    def first(phase):
+        return phases.index(phase)
+
+    # Ordering of the Fig. 2 lines.
+    assert first("setup") < first("assignment")
+    assert first("assignment") < first("initial")
+    assert first("initial") < first("recover_violate")
+    assert first("recover_violate") < first("improve_delay")
+    assert first("improve_delay") < first("improve_area")
+
+    assert result.deletions > 0
+    benchmark.extra_info["deletions"] = result.deletions
+    benchmark.extra_info["reroutes"] = result.reroutes
+    print()
+    for event in result.phase_log:
+        print(f"  [{event.phase:>16s}] {event.detail}")

@@ -1,0 +1,69 @@
+"""Scaling — the CPU column's shape.
+
+The paper reports per-dataset CPU seconds growing with circuit size
+(seconds on a SPARCstation 2).  Absolute times are incomparable; the
+*shape* — router time growing manageably (well under cubically) with
+netlist size — is what this bench checks across a size sweep.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.bench.circuits import CircuitSpec, DatasetSpec, make_dataset
+from repro.core import GlobalRouter, RouterConfig
+from repro.layout.placer import FeedStyle
+
+
+def _spec(n_gates: int) -> DatasetSpec:
+    return DatasetSpec(
+        f"SC{n_gates}",
+        CircuitSpec(
+            f"SC{n_gates}",
+            n_gates=n_gates,
+            n_flops=max(2, n_gates // 8),
+            n_inputs=6,
+            n_outputs=4,
+            n_diff_pairs=1,
+            seed=5,
+        ),
+        FeedStyle.EVEN,
+        n_constraints=max(2, n_gates // 12),
+    )
+
+
+@pytest.mark.bench
+def test_scaling_router_runtime(benchmark):
+    sizes = (30, 60, 120, 240)
+
+    def sweep():
+        times = {}
+        nets = {}
+        for size in sizes:
+            dataset = make_dataset(_spec(size))
+            start = time.perf_counter()
+            router = GlobalRouter(
+                dataset.circuit, dataset.placement, dataset.constraints,
+                RouterConfig(),
+            )
+            router.route()
+            times[size] = time.perf_counter() - start
+            nets[size] = len(dataset.circuit.routable_nets)
+        return times, nets
+
+    times, nets = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for size in sizes:
+        print(
+            f"  {size:>4} gates ({nets[size]:>4} nets): "
+            f"{times[size]:7.2f} s"
+        )
+    benchmark.extra_info["seconds_by_gates"] = {
+        str(size): round(value, 3) for size, value in times.items()
+    }
+    # Shape check: an 8x bigger netlist must not cost more than ~200x —
+    # i.e. the implementation stays well below cubic growth.
+    net_ratio = nets[sizes[-1]] / nets[sizes[0]]
+    time_ratio = times[sizes[-1]] / max(times[sizes[0]], 1e-6)
+    assert time_ratio < 3.0 * net_ratio ** 2.5

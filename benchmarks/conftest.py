@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  To keep ``pytest --benchmark-only`` fast,
+the benches run the miniature suite; the full paper-scale tables are
+produced by ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import make_dataset, small_suite
+from repro.bench.runner import run_dataset, run_pair
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bench: paper-table/figure regeneration benchmark"
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_specs():
+    return small_suite()
+
+
+@pytest.fixture(scope="session")
+def s1_spec(suite_specs):
+    return suite_specs[0]
+
+
+@pytest.fixture(scope="session")
+def s1_dataset(s1_spec):
+    return make_dataset(s1_spec)
+
+
+@pytest.fixture(scope="session")
+def s1_pair(s1_spec):
+    """One constrained/unconstrained pair, shared by result-shape benches."""
+    return run_pair(s1_spec)
+
+
+@pytest.fixture(scope="session")
+def s1_artifacts(s1_spec):
+    """Full artifacts of one constrained run."""
+    return run_dataset(s1_spec, True)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Timing-constraint exploration on one synthetic chip.
+
+Sweeps the constraint budget factor from generous to aggressive and
+reports, for each setting, the post-channel-routing critical delay, the
+number of met/violated constraints, chip area, and router effort — the
+delay/area trade-off a chip lead would examine before committing specs.
+
+Also prints the Fig. 4 density chart of the most congested channel so
+the area side of the trade-off is visible.
+
+Run:  python examples/timing_exploration.py
+"""
+
+import dataclasses
+
+from repro import Technology
+from repro.analysis import profile_from_engine
+from repro.bench.circuits import make_dataset, small_suite
+from repro.bench.runner import run_dataset
+from repro.core import GlobalRouter, RouterConfig
+
+
+def main() -> None:
+    base_spec = small_suite()[0]
+    factors = (2.0, 1.5, 1.25, 1.1)
+
+    print(f"{'factor':>7} {'delay(ps)':>10} {'met':>5} {'viol':>5} "
+          f"{'area(mm2)':>10} {'reroutes':>9} {'cpu(s)':>7}")
+    for factor in factors:
+        spec = dataclasses.replace(base_spec, constraint_factor=factor)
+        record, global_result, report, dataset = run_dataset(spec, True)
+        met = record.n_constraints - record.violations
+        print(
+            f"{factor:>7.2f} {record.delay_ps:>10.1f} {met:>5d} "
+            f"{record.violations:>5d} {record.area_mm2:>10.4f} "
+            f"{global_result.reroutes:>9d} {record.cpu_s:>7.2f}"
+        )
+
+    # Show the congestion picture of the last run.
+    dataset = make_dataset(base_spec)
+    router = GlobalRouter(
+        dataset.circuit, dataset.placement, dataset.constraints,
+        RouterConfig(),
+    )
+    router.route()
+    channel = router.engine.max_channel()
+    profile, _ = profile_from_engine(router.engine, channel)
+    print()
+    print(
+        f"densest channel {channel}: C_M={profile.stats.c_max} "
+        f"(NC_M={profile.stats.nc_max} columns at the peak)"
+    )
+    print(profile.ascii_chart())
+
+
+if __name__ == "__main__":
+    main()

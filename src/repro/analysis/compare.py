@@ -1,0 +1,132 @@
+"""A/B comparison of two routing results.
+
+Ablations and regression checks keep asking the same questions — which
+run is faster, by how much, at what area cost, and which nets changed.
+:func:`compare_results` answers them as a structured report with a
+one-screen textual rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.result import GlobalRoutingResult
+
+
+@dataclass(frozen=True)
+class NetDelta:
+    """Per-net change between two results."""
+
+    net_name: str
+    length_a_um: float
+    length_b_um: float
+
+    @property
+    def delta_um(self) -> float:
+        return self.length_b_um - self.length_a_um
+
+    @property
+    def delta_pct(self) -> float:
+        if self.length_a_um == 0.0:
+            return 0.0
+        return 100.0 * self.delta_um / self.length_a_um
+
+
+@dataclass
+class ComparisonReport:
+    """Structured A-vs-B summary."""
+
+    label_a: str
+    label_b: str
+    delay_a_ps: float
+    delay_b_ps: float
+    area_a_mm2: float
+    area_b_mm2: float
+    length_a_mm: float
+    length_b_mm: float
+    margin_deltas_ps: Dict[str, float] = field(default_factory=dict)
+    net_deltas: List[NetDelta] = field(default_factory=list)
+
+    @property
+    def delay_improvement_pct(self) -> float:
+        """Positive when B is faster than A."""
+        if self.delay_a_ps == 0.0:
+            return 0.0
+        return 100.0 * (self.delay_a_ps - self.delay_b_ps) / self.delay_a_ps
+
+    @property
+    def area_change_pct(self) -> float:
+        if self.area_a_mm2 == 0.0:
+            return 0.0
+        return 100.0 * (self.area_b_mm2 - self.area_a_mm2) / self.area_a_mm2
+
+    def changed_nets(self, min_delta_um: float = 1e-6) -> List[NetDelta]:
+        """Nets whose routed length changed, largest |delta| first."""
+        changed = [
+            d for d in self.net_deltas if abs(d.delta_um) > min_delta_um
+        ]
+        changed.sort(key=lambda d: -abs(d.delta_um))
+        return changed
+
+    def summary(self, top_nets: int = 5) -> str:
+        lines = [
+            f"{self.label_a} vs {self.label_b}:",
+            f"  delay  {self.delay_a_ps:9.1f} -> {self.delay_b_ps:9.1f} ps"
+            f"  ({self.delay_improvement_pct:+.1f}% improvement)",
+            f"  area   {self.area_a_mm2:9.4f} -> {self.area_b_mm2:9.4f}"
+            f" mm^2 ({self.area_change_pct:+.1f}%)",
+            f"  length {self.length_a_mm:9.3f} -> {self.length_b_mm:9.3f}"
+            " mm",
+        ]
+        changed = self.changed_nets()
+        lines.append(f"  nets rerouted: {len(changed)}")
+        for delta in changed[:top_nets]:
+            lines.append(
+                f"    {delta.net_name:<20s} "
+                f"{delta.length_a_um:8.1f} -> {delta.length_b_um:8.1f} um"
+                f" ({delta.delta_pct:+.1f}%)"
+            )
+        if self.margin_deltas_ps:
+            worst = min(self.margin_deltas_ps.items(), key=lambda p: p[1])
+            best = max(self.margin_deltas_ps.items(), key=lambda p: p[1])
+            lines.append(
+                f"  margin deltas: best {best[0]} {best[1]:+.1f} ps, "
+                f"worst {worst[0]} {worst[1]:+.1f} ps"
+            )
+        return "\n".join(lines)
+
+
+def compare_results(
+    result_a: GlobalRoutingResult,
+    result_b: GlobalRoutingResult,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> ComparisonReport:
+    """Build a :class:`ComparisonReport` for two routings of one chip."""
+    margin_deltas = {
+        name: result_b.constraint_margins[name] - margin_a
+        for name, margin_a in result_a.constraint_margins.items()
+        if name in result_b.constraint_margins
+    }
+    net_deltas = [
+        NetDelta(
+            net_name=name,
+            length_a_um=route_a.total_length_um,
+            length_b_um=result_b.routes[name].total_length_um,
+        )
+        for name, route_a in sorted(result_a.routes.items())
+        if name in result_b.routes
+    ]
+    return ComparisonReport(
+        label_a=label_a,
+        label_b=label_b,
+        delay_a_ps=result_a.critical_delay_ps,
+        delay_b_ps=result_b.critical_delay_ps,
+        area_a_mm2=result_a.estimated_floorplan.area_mm2,
+        area_b_mm2=result_b.estimated_floorplan.area_mm2,
+        length_a_mm=result_a.total_length_mm,
+        length_b_mm=result_b.total_length_mm,
+        margin_deltas_ps=margin_deltas,
+        net_deltas=net_deltas,
+    )

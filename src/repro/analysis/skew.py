@@ -1,0 +1,104 @@
+"""Clock-skew analysis — the motivation for multi-pitch wires.
+
+Section 4.2: "Multi-pitch wires are required to reduce wire resistance
+and skews for very large fan-out nets like a clock."  This module
+quantifies that: given a routed net, it computes per-sink Elmore delays
+on the final tree and reports the spread (skew).  Widening the wire cuts
+the resistive term that differentiates near from far sinks, so skew
+falls with pitch width — the relationship
+``benchmarks/bench_ablation_multipitch.py`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.result import GlobalRoutingResult, NetRoute
+from ..errors import TimingError
+from ..netlist.circuit import Circuit, Net
+from ..timing.delay_model import ElmoreDelayModel
+
+
+@dataclass
+class SkewReport:
+    """Per-sink delays and skew of one routed net."""
+
+    net_name: str
+    width_pitches: int
+    sink_delays_ps: Dict[str, float]
+
+    @property
+    def min_delay_ps(self) -> float:
+        return min(self.sink_delays_ps.values())
+
+    @property
+    def max_delay_ps(self) -> float:
+        return max(self.sink_delays_ps.values())
+
+    @property
+    def skew_ps(self) -> float:
+        """Largest sink-to-sink arrival difference."""
+        return self.max_delay_ps - self.min_delay_ps
+
+    def summary(self) -> str:
+        return (
+            f"net {self.net_name} ({self.width_pitches}-pitch): "
+            f"{len(self.sink_delays_ps)} sinks, "
+            f"delay {self.min_delay_ps:.1f}..{self.max_delay_ps:.1f} ps, "
+            f"skew {self.skew_ps:.2f} ps"
+        )
+
+
+def net_skew(
+    circuit: Circuit,
+    result: GlobalRoutingResult,
+    net_name: str,
+    model: Optional[ElmoreDelayModel] = None,
+) -> SkewReport:
+    """Elmore sink delays and skew of one routed net."""
+    route = result.routes.get(net_name)
+    if route is None:
+        raise TimingError(f"net {net_name} was not routed")
+    if not route.elmore_segments:
+        raise TimingError(f"net {net_name} has no recorded tree segments")
+    if model is None:
+        from ..tech import Technology
+
+        model = ElmoreDelayModel(Technology())
+    net = circuit.net(net_name)
+    sink_caps = {
+        index: _sink_cap(net, name)
+        for index, name in enumerate(route.sink_pin_names)
+    }
+    per_sink = model.elmore_delays_ps(route.elmore_segments, sink_caps)
+    delays = {
+        route.sink_pin_names[index]: delay
+        for index, delay in per_sink.items()
+    }
+    if not delays:
+        raise TimingError(f"net {net_name} has no sinks")
+    return SkewReport(net_name, route.width_pitches, delays)
+
+
+def clock_skew_table(
+    circuit: Circuit,
+    result: GlobalRoutingResult,
+    model: Optional[ElmoreDelayModel] = None,
+    min_fanout: int = 4,
+) -> List[SkewReport]:
+    """Skew reports for every high-fanout net, worst skew first."""
+    reports = []
+    for name, route in result.routes.items():
+        if len(route.sink_pin_names) < min_fanout:
+            continue
+        reports.append(net_skew(circuit, result, name, model))
+    reports.sort(key=lambda r: -r.skew_ps)
+    return reports
+
+
+def _sink_cap(net: Net, pin_full_name: str) -> float:
+    for pin in net.sinks:
+        if pin.full_name == pin_full_name:
+            return pin.fanin_pf
+    return 0.0

@@ -1,0 +1,151 @@
+"""Wire-length statistics of a routed chip.
+
+Gives the reviewer's-eye view of a routing result: per-net length
+distribution, how far routes exceed their HPWL/MST bounds, and which
+nets carry the worst excess — the first place to look when a result
+regresses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.lower_bound import hpwl_length_um
+from ..baselines.steiner import mst_length_um
+from ..core.result import GlobalRoutingResult
+from ..layout.placement import Placement
+from ..netlist.circuit import Circuit
+from ..tech import Technology
+
+
+@dataclass(frozen=True)
+class NetLengthStat:
+    """One net's routed length against its geometric bounds."""
+
+    net_name: str
+    routed_um: float
+    hpwl_um: float
+    mst_um: float
+
+    @property
+    def excess_over_hpwl(self) -> float:
+        """``routed / hpwl`` (1.0 when the bound is met; inf-safe)."""
+        if self.hpwl_um <= 0.0:
+            return 1.0
+        return self.routed_um / self.hpwl_um
+
+
+@dataclass
+class WireStats:
+    """Distribution summary over all routed nets."""
+
+    per_net: List[NetLengthStat]
+
+    @property
+    def total_routed_um(self) -> float:
+        return sum(stat.routed_um for stat in self.per_net)
+
+    @property
+    def total_hpwl_um(self) -> float:
+        return sum(stat.hpwl_um for stat in self.per_net)
+
+    @property
+    def overall_excess(self) -> float:
+        if self.total_hpwl_um <= 0.0:
+            return 1.0
+        return self.total_routed_um / self.total_hpwl_um
+
+    def percentile_length_um(self, fraction: float) -> float:
+        """Length at the given percentile (0..1) of the distribution."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        ordered = sorted(stat.routed_um for stat in self.per_net)
+        if not ordered:
+            return 0.0
+        index = min(
+            len(ordered) - 1, int(math.floor(fraction * len(ordered)))
+        )
+        return ordered[index]
+
+    def worst_excess(self, count: int = 5) -> List[NetLengthStat]:
+        """Nets whose routes exceed their HPWL bound the most."""
+        ranked = sorted(
+            self.per_net, key=lambda s: -s.excess_over_hpwl
+        )
+        return ranked[:count]
+
+    def histogram(
+        self, bins: int = 8
+    ) -> List[Tuple[float, float, int]]:
+        """``(lo_um, hi_um, count)`` equal-width length bins."""
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        if not self.per_net:
+            return []
+        lengths = [stat.routed_um for stat in self.per_net]
+        lo, hi = min(lengths), max(lengths)
+        if hi <= lo:
+            return [(lo, hi, len(lengths))]
+        width = (hi - lo) / bins
+        counts = [0] * bins
+        for value in lengths:
+            index = min(bins - 1, int((value - lo) / width))
+            counts[index] += 1
+        return [
+            (lo + i * width, lo + (i + 1) * width, counts[i])
+            for i in range(bins)
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.per_net)} nets, total "
+            f"{self.total_routed_um / 1000.0:.2f} mm "
+            f"({100.0 * (self.overall_excess - 1.0):+.1f}% over HPWL)",
+            f"  median length {self.percentile_length_um(0.5):8.1f} um, "
+            f"p90 {self.percentile_length_um(0.9):8.1f} um, "
+            f"max {self.percentile_length_um(1.0):8.1f} um",
+        ]
+        for stat in self.worst_excess(3):
+            lines.append(
+                f"  worst: {stat.net_name:<16s} "
+                f"{stat.routed_um:8.1f} um vs HPWL {stat.hpwl_um:8.1f} "
+                f"({stat.excess_over_hpwl:.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+def wire_stats(
+    circuit: Circuit,
+    placement: Placement,
+    result: GlobalRoutingResult,
+    technology: Technology = Technology(),
+    net_lengths_um: Optional[Dict[str, float]] = None,
+) -> WireStats:
+    """Collect wire statistics from a routing result.
+
+    ``net_lengths_um`` overrides the global-route lengths (pass the
+    sign-off's final lengths to include channel verticals).  Note that
+    the *global* route lengths exclude in-channel vertical stubs, so
+    only the sign-off lengths are guaranteed to dominate each net's
+    HPWL bound.
+    """
+    per_net: List[NetLengthStat] = []
+    for name in sorted(result.routes):
+        route = result.routes[name]
+        net = circuit.net(name)
+        routed = (
+            net_lengths_um.get(name, route.total_length_um)
+            if net_lengths_um
+            else route.total_length_um
+        )
+        per_net.append(
+            NetLengthStat(
+                net_name=name,
+                routed_um=routed,
+                hpwl_um=hpwl_length_um(net, placement, technology),
+                mst_um=mst_length_um(net, placement, technology),
+            )
+        )
+    return WireStats(per_net)

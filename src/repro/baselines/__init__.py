@@ -1,0 +1,21 @@
+"""Baselines and bounds: the HPWL critical-path lower bound of Table 3,
+classic net-length estimators, and the unconstrained router baseline
+(available as :meth:`repro.core.RouterConfig.unconstrained`)."""
+
+from .congestion import estimate_channel_tracks
+from .lower_bound import (
+    critical_path_lower_bound_ps,
+    hpwl_caps,
+    hpwl_length_um,
+)
+from .steiner import mst_length_um, net_pin_points, star_length_um
+
+__all__ = [
+    "critical_path_lower_bound_ps",
+    "estimate_channel_tracks",
+    "hpwl_caps",
+    "hpwl_length_um",
+    "mst_length_um",
+    "net_pin_points",
+    "star_length_um",
+]

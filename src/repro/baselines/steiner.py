@@ -1,0 +1,79 @@
+"""Classic net-length estimators: star and rectilinear spanning tree.
+
+These bracket the global router's tentative-tree estimate — the HPWL of
+:mod:`repro.baselines.lower_bound` from below, the star topology from
+above — and are used by tests and by the ablation benches to sanity-check
+the router's wire lengths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..geometry import manhattan
+from ..layout.placement import Placement
+from ..netlist.circuit import Net
+from ..tech import Technology
+
+
+def net_pin_points(
+    net: Net, placement: Placement, technology: Technology
+) -> List[Tuple[float, float]]:
+    """Physical ``(x_um, y_um)`` of every pin of a net.
+
+    Vertical positions use the minimal row pitch, mirroring the lower
+    bound's geometry so the estimators are directly comparable.
+    """
+    row_pitch = technology.row_height_um + technology.channel_height_um(0)
+    points = []
+    for pin in net.pins:
+        column, row_like = placement.pin_position(pin)
+        points.append(
+            (technology.columns_to_um(column), row_like * row_pitch)
+        )
+    return points
+
+
+def star_length_um(
+    net: Net, placement: Placement, technology: Technology = Technology()
+) -> float:
+    """Driver-to-every-sink Manhattan star length (upper-ish estimate)."""
+    points = net_pin_points(net, placement, technology)
+    if len(points) < 2:
+        return 0.0
+    source = net.source
+    pins = list(net.pins)
+    source_point = points[pins.index(source)]
+    return sum(
+        abs(p[0] - source_point[0]) + abs(p[1] - source_point[1])
+        for p in points
+    )
+
+
+def mst_length_um(
+    net: Net, placement: Placement, technology: Technology = Technology()
+) -> float:
+    """Rectilinear minimum spanning tree length (Prim's algorithm)."""
+    points = net_pin_points(net, placement, technology)
+    n = len(points)
+    if n < 2:
+        return 0.0
+    in_tree = [False] * n
+    best = [float("inf")] * n
+    best[0] = 0.0
+    total = 0.0
+    for _ in range(n):
+        u = min(
+            (i for i in range(n) if not in_tree[i]), key=lambda i: best[i]
+        )
+        in_tree[u] = True
+        total += best[u]
+        for v in range(n):
+            if in_tree[v]:
+                continue
+            d = abs(points[u][0] - points[v][0]) + abs(
+                points[u][1] - points[v][1]
+            )
+            if d < best[v]:
+                best[v] = d
+    return total

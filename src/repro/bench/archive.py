@@ -1,0 +1,125 @@
+"""Experiment archive: run the suite once, persist everything.
+
+``EXPERIMENTS.md`` quotes numbers; this module regenerates them
+mechanically — one JSON file holding Table 1-3 content plus every raw
+:class:`RunRecord`, so results can be diffed across code changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..io.json_report import run_record_to_dict
+from ..tech import Technology
+from .circuits import Dataset, DatasetSpec, make_dataset
+from .runner import RunRecord, run_pair
+from .tables import format_table1, format_table2, format_table3
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class SuiteArchive:
+    """Everything one suite run produced."""
+
+    suite_name: str
+    records: List[Tuple[RunRecord, RunRecord]]
+    datasets: List[Dataset]
+
+    def tables(self) -> Dict[str, str]:
+        return {
+            "table1": format_table1(self.datasets),
+            "table2": format_table2(self.records),
+            "table3": format_table3(self.records),
+        }
+
+    def improvements_pct(self) -> Dict[str, float]:
+        """Per-dataset constrained-vs-unconstrained delay improvement."""
+        return {
+            with_c.dataset: 100.0
+            * (without_c.delay_ps - with_c.delay_ps)
+            / without_c.delay_ps
+            for with_c, without_c in self.records
+            if without_c.delay_ps > 0.0
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": "repro-suite-archive",
+            "version": _FORMAT_VERSION,
+            "suite": self.suite_name,
+            "tables": self.tables(),
+            "improvements_pct": {
+                name: round(value, 3)
+                for name, value in self.improvements_pct().items()
+            },
+            "records": [
+                {
+                    "with_constraints": run_record_to_dict(with_c),
+                    "without_constraints": run_record_to_dict(without_c),
+                }
+                for with_c, without_c in self.records
+            ],
+        }
+
+
+def run_suite_archive(
+    specs: Sequence[DatasetSpec],
+    suite_name: str = "suite",
+    technology: Technology = Technology(),
+) -> SuiteArchive:
+    """Route every dataset in both modes and collect the archive."""
+    records = [run_pair(spec, technology) for spec in specs]
+    datasets = [make_dataset(spec, technology) for spec in specs]
+    return SuiteArchive(suite_name, records, datasets)
+
+
+def write_archive(archive: SuiteArchive, path: PathLike) -> None:
+    """Persist an archive as JSON."""
+    Path(path).write_text(
+        json.dumps(archive.to_dict(), indent=2, sort_keys=True)
+    )
+
+
+def load_archive_dict(path: PathLike) -> Dict:
+    """Load a previously written archive's raw dictionary."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-suite-archive":
+        raise ValueError("not a repro suite archive")
+    return payload
+
+
+def compare_archives(old: Dict, new: Dict) -> List[str]:
+    """Human-readable regression diff between two archive payloads.
+
+    Flags per-dataset delay/area changes beyond 0.5%.
+    """
+    notes: List[str] = []
+    old_records = {
+        r["with_constraints"]["dataset"]: r for r in old["records"]
+    }
+    for entry in new["records"]:
+        name = entry["with_constraints"]["dataset"]
+        previous = old_records.get(name)
+        if previous is None:
+            notes.append(f"{name}: new dataset")
+            continue
+        for mode in ("with_constraints", "without_constraints"):
+            for metric in ("delay_ps", "area_mm2"):
+                old_value = previous[mode][metric]
+                new_value = entry[mode][metric]
+                if old_value == 0:
+                    continue
+                change = 100.0 * (new_value - old_value) / old_value
+                if abs(change) > 0.5:
+                    notes.append(
+                        f"{name} [{mode}] {metric}: "
+                        f"{old_value:.4g} -> {new_value:.4g} "
+                        f"({change:+.1f}%)"
+                    )
+    return notes

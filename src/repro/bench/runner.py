@@ -1,0 +1,147 @@
+"""End-to-end benchmark runs: dataset → global route → channel route →
+sign-off, with and without timing constraints (the two halves of the
+paper's Table 2) plus the HPWL lower bound (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.signoff import SignoffReport, sign_off
+from ..baselines.lower_bound import critical_path_lower_bound_ps
+from ..channelrouter.leftedge import route_channels
+from ..core.config import RouterConfig
+from ..layout.floorplan import assign_external_pins
+from ..core.router import GlobalRouter
+from ..core.result import GlobalRoutingResult
+from ..tech import Technology
+from .circuits import Dataset, DatasetSpec, make_dataset
+
+
+@dataclass
+class RunRecord:
+    """One row of raw results (one dataset, one routing mode)."""
+
+    dataset: str
+    constrained: bool
+    delay_ps: float
+    area_mm2: float
+    length_mm: float
+    cpu_s: float
+    lower_bound_ps: float
+    violations: int
+    worst_margin_ps: float
+    cells: int
+    nets: int
+    n_constraints: int
+    feed_cells_inserted: int
+    deletions: int
+    reroutes: int
+
+    @property
+    def gap_to_bound_pct(self) -> float:
+        """Table 3's "difference from the lower bound" percentage."""
+        if self.lower_bound_ps <= 0.0:
+            return 0.0
+        return 100.0 * (self.delay_ps - self.lower_bound_ps) / self.lower_bound_ps
+
+
+def run_dataset(
+    spec: DatasetSpec,
+    constrained: bool = True,
+    technology: Technology = Technology(),
+    config: Optional[RouterConfig] = None,
+) -> Tuple[RunRecord, GlobalRoutingResult, SignoffReport, Dataset]:
+    """Route one dataset in one mode and return all artifacts.
+
+    A fresh netlist/placement is materialized per run (routing mutates the
+    placement via feed-cell insertion, so runs must not share one).
+    """
+    dataset = make_dataset(spec, technology)
+    if config is None:
+        config = RouterConfig(technology=technology)
+    if not constrained:
+        config = config.unconstrained()
+    constraints = dataset.constraints
+
+    # Pins must have boundary columns before HPWL boxes can be measured;
+    # the router's own assignment pass is a no-op for assigned pins.
+    assign_external_pins(dataset.circuit, dataset.placement)
+    lower_bound = critical_path_lower_bound_ps(
+        dataset.circuit, dataset.placement, technology
+    )
+    router = GlobalRouter(
+        dataset.circuit, dataset.placement, constraints, config
+    )
+    global_result = router.route()
+    channel_result = route_channels(
+        global_result, dataset.placement, technology
+    )
+    report = sign_off(
+        dataset.circuit,
+        dataset.placement,
+        global_result,
+        channel_result,
+        constraints,
+        technology,
+        config.width_cap_exponent,
+        gd=router.gd,
+    )
+    stats = dataset.stats()
+    record = RunRecord(
+        dataset=spec.name,
+        constrained=constrained,
+        delay_ps=report.critical_delay_ps,
+        area_mm2=report.area_mm2,
+        length_mm=report.total_length_mm,
+        cpu_s=report.cpu_seconds,
+        lower_bound_ps=lower_bound,
+        violations=len(report.violations),
+        worst_margin_ps=(
+            min(report.constraint_margins.values())
+            if report.constraint_margins
+            else float("inf")
+        ),
+        cells=stats["cells"],
+        nets=stats["nets"],
+        n_constraints=stats["constraints"],
+        feed_cells_inserted=global_result.feed_cells_inserted,
+        deletions=global_result.deletions,
+        reroutes=global_result.reroutes,
+    )
+    return record, global_result, report, dataset
+
+
+def run_pair(
+    spec: DatasetSpec,
+    technology: Technology = Technology(),
+    config: Optional[RouterConfig] = None,
+) -> Tuple[RunRecord, RunRecord]:
+    """Route one dataset with and without constraints (one Table 2 row
+    pair).
+
+    The Table 3 lower bound is recomputed on the *routed* chip geometry
+    (the constrained run's channel heights), matching the paper's
+    "rectangle containing the net terminals" on the final layout; both
+    records share that single per-dataset bound.
+    """
+    with_c, _, report_c, ds_c = run_dataset(spec, True, technology, config)
+    without_c, _, _, _ = run_dataset(spec, False, technology, config)
+    bound = critical_path_lower_bound_ps(
+        ds_c.circuit,
+        ds_c.placement,
+        technology,
+        channel_tracks=report_c.floorplan.channel_tracks,
+    )
+    with_c.lower_bound_ps = bound
+    without_c.lower_bound_ps = bound
+    return with_c, without_c
+
+
+def run_suite(
+    specs: List[DatasetSpec],
+    technology: Technology = Technology(),
+    config: Optional[RouterConfig] = None,
+) -> List[Tuple[RunRecord, RunRecord]]:
+    """Route every dataset in both modes."""
+    return [run_pair(spec, technology, config) for spec in specs]

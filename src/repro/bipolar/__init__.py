@@ -1,0 +1,14 @@
+"""Bipolar-specific routing features (Section 4): differential-drive net
+pairs and multi-pitch wires.  (Feed-cell insertion, the third bipolar
+feature, lives in :mod:`repro.layout.feedcell` next to the slot model.)"""
+
+from .differential import PairCorrespondence, establish_correspondence
+from .multipitch import density_weight, required_slot_width, wire_cap_pf
+
+__all__ = [
+    "PairCorrespondence",
+    "density_weight",
+    "establish_correspondence",
+    "required_slot_width",
+    "wire_cap_pf",
+]

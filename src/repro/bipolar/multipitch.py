@@ -1,0 +1,46 @@
+"""Multi-pitch wire handling (Section 4.2).
+
+Very large fan-out nets — above all the clock — are routed ``w`` pitches
+wide to cut wire resistance (skew) at the cost of ``w`` adjacent
+feedthrough slots per crossing and ``w`` tracks' worth of channel density.
+The rest of the router is width-agnostic; these helpers centralize the
+three places width enters the model:
+
+* slot demand during feedthrough assignment,
+* weight in the channel-density profiles, and
+* wiring capacitance (delay criteria).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..netlist.circuit import Net
+from ..timing.delay_model import DelayModel
+
+
+def required_slot_width(net: Net) -> int:
+    """Feedthrough columns one crossing of this net consumes.
+
+    A differential pair is assigned as a single ``2w`` corridor
+    (Section 4.1), accounted on the pair's lead net.
+    """
+    if net.width_pitches < 1:
+        raise ConfigError(f"net {net.name}: invalid width")
+    if net.is_differential:
+        return 2 * net.width_pitches
+    return net.width_pitches
+
+
+def density_weight(net: Net) -> int:
+    """How many tracks a trunk edge of this net occupies in a channel.
+
+    Each net of a differential pair carries its own trunk edges, so the
+    weight here is the net's own width (the pair totals ``2w`` between
+    its two graphs).
+    """
+    return net.width_pitches
+
+
+def wire_cap_pf(net: Net, length_um: float, model: DelayModel) -> float:
+    """Wiring capacitance of ``length_um`` of this net's wire."""
+    return model.wire_cap_pf(length_um, net.width_pitches)

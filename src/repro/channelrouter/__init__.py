@@ -1,0 +1,27 @@
+"""Detailed channel routing: VCG-aware left-edge track assignment.
+
+The paper evaluates its global router by measuring "critical-path delays
+... obtained from routing lengths after channel routing in the same delay
+model"; this package supplies that step."""
+
+from .leftedge import (
+    ChannelRoutingResult,
+    ChannelSegment,
+    route_channel,
+    route_channels,
+)
+from .trackorder import (
+    TrackOrderStats,
+    optimize_all_channels,
+    optimize_track_order,
+)
+
+__all__ = [
+    "ChannelRoutingResult",
+    "ChannelSegment",
+    "TrackOrderStats",
+    "optimize_all_channels",
+    "optimize_track_order",
+    "route_channel",
+    "route_channels",
+]

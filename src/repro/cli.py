@@ -1,0 +1,308 @@
+"""Command-line interface.
+
+Installed as ``repro-router``.  Subcommands:
+
+``tables``
+    Regenerate the paper's Tables 1-3 on the standard or small suite.
+``route``
+    Route a netlist file (``.rnl``), placing it first if no placement
+    file is given, and print (or JSON-dump) the signed-off report.
+``generate``
+    Emit a synthetic benchmark netlist (and optional placement) to disk.
+
+Examples::
+
+    repro-router tables --suite small
+    repro-router generate demo --gates 60 --out demo.rnl --placement-out demo.rpl
+    repro-router route demo.rnl --placement demo.rpl --constraints 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.signoff import sign_off
+from .bench.circuits import (
+    CircuitSpec,
+    generate_circuit,
+    generate_constraints,
+    small_suite,
+    standard_suite,
+)
+from .bench.runner import run_pair
+from .bench.tables import format_table1, format_table2, format_table3
+from .channelrouter.leftedge import route_channels
+from .core.config import RouterConfig
+from .core.router import GlobalRouter
+from .errors import ReproError
+from .io.json_report import (
+    global_result_to_dict,
+    signoff_to_dict,
+    write_json_report,
+)
+from .io.netlist_format import (
+    read_circuit,
+    read_placement,
+    write_circuit,
+    write_placement,
+)
+from .layout.placer import FeedStyle, PlacerConfig, place_circuit
+from .netlist.cell_library import standard_ecl_library
+from .tech import Technology
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-router",
+        description="Timing- and area-driven bipolar global router "
+        "(Harada & Kitazawa, DAC 1994 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate Tables 1-3")
+    tables.add_argument(
+        "--suite", choices=("standard", "small"), default="small"
+    )
+    tables.add_argument("--table", type=int, choices=(1, 2, 3))
+
+    route = sub.add_parser("route", help="route a netlist file")
+    route.add_argument("netlist", type=Path)
+    route.add_argument("--placement", type=Path, default=None)
+    route.add_argument("--rows", type=int, default=None)
+    route.add_argument(
+        "--feed-fraction", type=float, default=0.12,
+        help="feed cells per row as a fraction of row cells",
+    )
+    route.add_argument(
+        "--constraints", type=int, default=0,
+        help="number of auto-derived critical-path constraints",
+    )
+    route.add_argument(
+        "--factor", type=float, default=1.25,
+        help="constraint budget factor over the estimated path delay",
+    )
+    route.add_argument(
+        "--unconstrained", action="store_true",
+        help="route with the area-only baseline configuration",
+    )
+    route.add_argument(
+        "--order", choices=("slack", "netlist", "fanout", "hpwl"),
+        default=None,
+        help="feedthrough-assignment net order (default: the paper's "
+        "slack order when constrained, netlist order otherwise)",
+    )
+    route.add_argument(
+        "--estimator", choices=("spt", "steiner"), default="spt",
+        help="tentative-tree estimator",
+    )
+    route.add_argument(
+        "--anneal", type=int, default=0, metavar="MOVES",
+        help="refine the placement with simulated annealing for up to "
+        "MOVES moves before routing (0 = off; only without --placement)",
+    )
+    route.add_argument(
+        "--verify", action="store_true",
+        help="run the independent routing verifier and report violations",
+    )
+    route.add_argument("--json", type=Path, default=None)
+    route.add_argument(
+        "--report", action="store_true",
+        help="print the full routing report (wires, channels, skew, "
+        "critical paths)",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="emit a synthetic benchmark netlist"
+    )
+    generate.add_argument("name")
+    generate.add_argument("--gates", type=int, default=80)
+    generate.add_argument("--flops", type=int, default=12)
+    generate.add_argument("--inputs", type=int, default=8)
+    generate.add_argument("--outputs", type=int, default=6)
+    generate.add_argument("--diff-pairs", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.add_argument("--placement-out", type=Path, default=None)
+    generate.add_argument("--rows", type=int, default=None)
+
+    compare = sub.add_parser(
+        "compare", help="diff two suite archives (regression check)"
+    )
+    compare.add_argument("old", type=Path)
+    compare.add_argument("new", type=Path)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "tables":
+            return _cmd_tables(args)
+        if args.command == "route":
+            return _cmd_route(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+def _cmd_tables(args) -> int:
+    specs = standard_suite() if args.suite == "standard" else small_suite()
+    wanted = {args.table} if args.table else {1, 2, 3}
+    if 1 in wanted:
+        from .bench.circuits import make_dataset
+
+        print(format_table1([make_dataset(spec) for spec in specs]))
+        print()
+    if wanted & {2, 3}:
+        pairs = [run_pair(spec) for spec in specs]
+        if 2 in wanted:
+            print(format_table2(pairs))
+            print()
+        if 3 in wanted:
+            print(format_table3(pairs))
+    return 0
+
+
+def _cmd_route(args) -> int:
+    library = standard_ecl_library()
+    technology = Technology()
+    circuit = read_circuit(args.netlist, library)
+    if args.placement is not None:
+        placement = read_placement(args.placement, circuit)
+    else:
+        placement = place_circuit(
+            circuit,
+            PlacerConfig(
+                n_rows=args.rows, feed_fraction=args.feed_fraction
+            ),
+            technology,
+        )
+        if args.anneal > 0:
+            from .layout.anneal import AnnealConfig, anneal_placement
+
+            stats = anneal_placement(
+                circuit,
+                placement,
+                AnnealConfig(max_moves=args.anneal),
+                technology,
+            )
+            print(
+                f"annealed placement: HPWL "
+                f"{stats.improvement_pct:+.1f}% "
+                f"({stats.moves_accepted}/{stats.moves_tried} moves)"
+            )
+    constraints = []
+    if args.constraints > 0:
+        from .layout.floorplan import assign_external_pins
+
+        assign_external_pins(circuit, placement)
+        constraints = generate_constraints(
+            circuit,
+            args.constraints,
+            args.factor,
+            placement=placement,
+            technology=technology,
+        )
+    config = RouterConfig(
+        technology=technology,
+        assignment_order=args.order,
+        tree_estimator=args.estimator,
+    )
+    if args.unconstrained:
+        config = config.unconstrained()
+    router = GlobalRouter(circuit, placement, constraints, config)
+    global_result = router.route()
+    channel_result = route_channels(global_result, placement, technology)
+    report = sign_off(
+        circuit, placement, global_result, channel_result,
+        constraints, technology, gd=router.gd,
+    )
+    if args.report:
+        from .analysis.report import full_report
+
+        print(
+            full_report(
+                circuit, placement, global_result, channel_result,
+                constraints, technology, gd=router.gd,
+            ).format()
+        )
+        print()
+    print(global_result.summary())
+    print(f"  signed-off delay {report.critical_delay_ps:9.1f} ps")
+    print(f"  signed-off area  {report.area_mm2:9.4f} mm^2")
+    if report.constraint_margins:
+        worst = min(report.constraint_margins.values())
+        print(
+            f"  constraints      {len(report.violations)} violated, "
+            f"worst margin {worst:+.1f} ps"
+        )
+    if args.verify:
+        from .core.verify import verify_routing
+
+        violations = verify_routing(
+            circuit, placement, global_result, router.assignment
+        )
+        if violations:
+            for violation in violations:
+                print(f"  VIOLATION: {violation}")
+            return 1
+        print("  verifier: clean")
+    if args.json is not None:
+        payload = {
+            "global": global_result_to_dict(global_result),
+            "signoff": signoff_to_dict(report),
+        }
+        write_json_report(payload, args.json)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    spec = CircuitSpec(
+        args.name,
+        n_gates=args.gates,
+        n_flops=args.flops,
+        n_inputs=args.inputs,
+        n_outputs=args.outputs,
+        n_diff_pairs=args.diff_pairs,
+        seed=args.seed,
+    )
+    circuit = generate_circuit(spec)
+    placement = None
+    if args.placement_out is not None:
+        # Placement adds feed cells to the circuit, so it must happen
+        # before the netlist is written out.
+        placement = place_circuit(circuit, PlacerConfig(n_rows=args.rows))
+    args.out.write_text(write_circuit(circuit))
+    print(f"wrote {args.out} ({len(circuit.logic_cells)} cells, "
+          f"{len(circuit.routable_nets)} nets)")
+    if placement is not None:
+        args.placement_out.write_text(write_placement(placement))
+        print(f"wrote {args.placement_out} ({placement.n_rows} rows)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .bench.archive import compare_archives, load_archive_dict
+
+    notes = compare_archives(
+        load_archive_dict(args.old), load_archive_dict(args.new)
+    )
+    if not notes:
+        print("no changes beyond 0.5%")
+        return 0
+    for note in notes:
+        print(note)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Router configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+from ..tech import Technology
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of the global router.
+
+    The defaults reproduce the paper's constrained runs; the *unconstrained*
+    baseline of Table 2 is obtained with ``timing_driven=False`` (delay
+    criteria all compare equal, the violation-recovery and delay-improvement
+    phases are skipped, but area improvement still runs).
+
+    Attributes:
+        technology: process geometry and capacitance.
+        timing_driven: honour timing constraints and delay criteria.
+        run_violation_recovery / run_delay_improvement /
+        run_area_improvement: enable the three Section 3.5 phases.
+        max_recovery_passes: rip-up sweeps attempted to clear violations.
+        max_delay_passes: sweeps of the delay-improvement loop.
+        max_area_passes: sweeps of the area-improvement loop.
+        area_nets_per_pass: congested nets rerouted per area sweep.
+        width_cap_exponent: capacitance scaling of w-pitch wires.
+        pad_tf_ps_per_pf / pad_td_ps_per_pf: external pad drive strength.
+        ff_setup_ps: flip-flop setup time charged on D arcs.
+        revert_worse_reroutes: snapshot nets before rip-up and restore the
+            old route when the reroute made the phase metric worse.
+        reassign_slots_on_reroute: during rip-up, release the net's
+            feedthrough slots and re-search from its centre column, so
+            critical nets rerouted early can reclaim better crossings.
+        tree_estimator: tentative-tree estimator — ``"spt"`` (the paper's
+            union of shortest paths) or ``"steiner"`` (KMB Steiner
+            approximation; tighter lengths, ~10-50× slower).
+        assignment_order: feedthrough-assignment net order — ``None``
+            picks the paper's behaviour (ascending zero-wire slack when
+            timing-driven, netlist order otherwise); explicit options are
+            ``"slack"``, ``"netlist"``, ``"fanout"`` (descending), and
+            ``"hpwl"`` (descending span).  Section 3.1 notes "these
+            assignments depend on the net ordering" — the ablation bench
+            quantifies by how much.
+    """
+
+    technology: Technology = field(default_factory=Technology)
+    timing_driven: bool = True
+    run_violation_recovery: bool = True
+    run_delay_improvement: bool = True
+    run_area_improvement: bool = True
+    max_recovery_passes: int = 3
+    max_delay_passes: int = 1
+    max_area_passes: int = 1
+    area_nets_per_pass: int = 16
+    width_cap_exponent: float = 1.0
+    pad_tf_ps_per_pf: float = 40.0
+    pad_td_ps_per_pf: float = 100.0
+    ff_setup_ps: float = 0.0
+    revert_worse_reroutes: bool = True
+    reassign_slots_on_reroute: bool = True
+    tree_estimator: str = "spt"
+    assignment_order: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_recovery_passes",
+            "max_delay_passes",
+            "max_area_passes",
+            "area_nets_per_pass",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"RouterConfig.{name} must be >= 0")
+        if self.width_cap_exponent <= 0.0:
+            raise ConfigError("width_cap_exponent must be positive")
+        if self.tree_estimator not in ("spt", "steiner"):
+            raise ConfigError(
+                f"unknown tree_estimator {self.tree_estimator!r}"
+            )
+        if self.assignment_order not in (
+            None, "slack", "netlist", "fanout", "hpwl",
+        ):
+            raise ConfigError(
+                f"unknown assignment_order {self.assignment_order!r}"
+            )
+
+    def unconstrained(self) -> "RouterConfig":
+        """The Table 2 baseline variant of this configuration."""
+        return RouterConfig(
+            technology=self.technology,
+            timing_driven=False,
+            run_violation_recovery=False,
+            run_delay_improvement=False,
+            run_area_improvement=self.run_area_improvement,
+            max_recovery_passes=self.max_recovery_passes,
+            max_delay_passes=self.max_delay_passes,
+            max_area_passes=self.max_area_passes,
+            area_nets_per_pass=self.area_nets_per_pass,
+            width_cap_exponent=self.width_cap_exponent,
+            pad_tf_ps_per_pf=self.pad_tf_ps_per_pf,
+            pad_td_ps_per_pf=self.pad_td_ps_per_pf,
+            ff_setup_ps=self.ff_setup_ps,
+            revert_worse_reroutes=self.revert_worse_reroutes,
+            reassign_slots_on_reroute=self.reassign_slots_on_reroute,
+            tree_estimator=self.tree_estimator,
+            assignment_order=self.assignment_order,
+        )

@@ -1,0 +1,141 @@
+"""Delay criteria for edge selection (Section 3.2).
+
+Deleting edge ``e`` from ``G_r(n)`` lengthens net ``n``'s tentative tree
+and therefore its wiring capacitance; every constraint ``P`` whose
+``G_d(P)`` contains arcs fed by ``n`` is affected.  The paper quantifies
+the damage with the **local margin**
+
+    LM(e, P) = M(P) − max_{(v,w)} max(0, lp(v) + d' − lp(w))
+
+over the affected arcs, where ``lp`` are the current longest-path values
+and ``d'`` the arc delay after the deletion.  When ``w`` lies on the
+current critical path this is exactly the post-deletion margin; otherwise
+it is a (safe) pessimistic estimate.  Three criteria derive from it:
+
+* ``C_d(e)`` — the *critical count*: how many constraints end up with
+  ``LM ≤ 0`` (deleting ``e`` would violate, or exactly exhaust, them);
+* ``Gl(e)`` — the *global delay* penalty increase, via the paper's
+  penalty function (linear in the positive-margin region, exponential
+  once violated);
+* ``LD(e)`` — the *local delay increase*: the summed arc-delay increase,
+  a weak predictor of future critical-path growth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Mapping
+
+from ..errors import TimingError
+from ..netlist.circuit import Net
+from ..timing.constraint import ConstraintGraph
+from ..timing.sta import ConstraintTiming
+
+
+def penalty(x_ps: float, limit_ps: float) -> float:
+    """The paper's ``pen(x, P)``: ``1 − x/δ_P`` for ``x ≥ 0``, else
+    ``exp(−x/δ_P)`` — continuous at 0 and rapidly growing once violated."""
+    if limit_ps <= 0.0:
+        raise TimingError("penalty needs a positive delay limit")
+    if x_ps >= 0.0:
+        return 1.0 - x_ps / limit_ps
+    return math.exp(-x_ps / limit_ps)
+
+
+@dataclass(frozen=True)
+class DelayCriteria:
+    """``(C_d, Gl, LD)`` of one candidate edge — compared in that order."""
+
+    critical_count: int
+    global_delay: float
+    local_delay: float
+
+    ZERO: ClassVar["DelayCriteria"]
+
+    def as_tuple(self) -> tuple:
+        return (self.critical_count, self.global_delay, self.local_delay)
+
+
+DelayCriteria.ZERO = DelayCriteria(0, 0.0, 0.0)
+
+
+@dataclass
+class NetTimingContext:
+    """Static per-net timing context: which constraint graphs the net's
+    wiring feeds, and how many arcs in total (for ``LD``)."""
+
+    net: Net
+    constraints: List[ConstraintGraph] = field(default_factory=list)
+
+    @property
+    def constrained(self) -> bool:
+        return bool(self.constraints)
+
+    @staticmethod
+    def build_all(
+        nets: List[Net], constraint_graphs: List[ConstraintGraph]
+    ) -> Dict[str, "NetTimingContext"]:
+        contexts = {net.name: NetTimingContext(net) for net in nets}
+        for cg in constraint_graphs:
+            for net in cg.nets():
+                context = contexts.get(net.name)
+                if context is not None:
+                    context.constraints.append(cg)
+        return contexts
+
+
+def local_margin(
+    cg: ConstraintGraph,
+    timing: ConstraintTiming,
+    net: Net,
+    cl_if_deleted_pf: float,
+) -> float:
+    """``LM(e, P)`` for an edge of ``net`` whose deletion would leave the
+    net with wiring capacitance ``cl_if_deleted_pf``."""
+    worst_excess = 0.0
+    for position in cg.arcs_of_net.get(net.name, ()):
+        arc = cg.arcs[position]
+        lp_tail = timing.lp[cg.pos[arc.tail]]
+        lp_head = timing.lp[cg.pos[arc.head]]
+        if lp_tail == float("-inf") or lp_head == float("-inf"):
+            continue
+        d_new = arc.const_ps + cl_if_deleted_pf * arc.td_ps_per_pf
+        excess = lp_tail + d_new - lp_head
+        if excess > worst_excess:
+            worst_excess = excess
+    return timing.margin_ps - worst_excess
+
+
+def evaluate_delay_criteria(
+    context: NetTimingContext,
+    cl_now_pf: float,
+    cl_if_deleted_pf: float,
+    timings: Mapping[str, ConstraintTiming],
+) -> DelayCriteria:
+    """``(C_d, Gl, LD)`` of a candidate edge.
+
+    Args:
+        context: the net's constraint involvement.
+        cl_now_pf: the net's current tentative-tree capacitance.
+        cl_if_deleted_pf: its capacitance if the edge is deleted.
+        timings: current per-constraint analysis results.
+    """
+    if not context.constrained:
+        return DelayCriteria.ZERO
+    critical_count = 0
+    global_delay = 0.0
+    local_delay = 0.0
+    delta_cl = cl_if_deleted_pf - cl_now_pf
+    for cg in context.constraints:
+        timing = timings[cg.name]
+        lm = local_margin(cg, timing, context.net, cl_if_deleted_pf)
+        if lm <= 0.0:
+            critical_count += 1
+        global_delay += penalty(lm, cg.limit_ps) - penalty(
+            timing.margin_ps, cg.limit_ps
+        )
+        for position in cg.arcs_of_net.get(context.net.name, ()):
+            arc = cg.arcs[position]
+            local_delay += delta_cl * arc.td_ps_per_pf
+    return DelayCriteria(critical_count, global_delay, local_delay)

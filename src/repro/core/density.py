@@ -1,0 +1,206 @@
+"""Channel-density bookkeeping (Section 3.3, Fig. 4).
+
+Two density profiles are maintained per channel, per grid column ``x``:
+
+* ``d_M(c, x)`` — the number of *all* alive trunk edges running over ``x``
+  (weighted by pitch width).  Its channel maximum ``C_M(c)`` is an upper
+  bound on the channel's final density, and ``NC_M(c)`` — the number of
+  columns at that maximum — measures how hard the maximum is to reduce.
+* ``d_m(c, x)`` — the same count restricted to *bridge* (essential) trunk
+  edges, i.e. wiring guaranteed to survive.  ``C_m(c)`` is a lower bound
+  on the final density, and because an increase of ``C_m`` can never be
+  recovered, keeping it low is the paper's strongest density criterion;
+  ``NC_m(c)`` measures how close the channel is to such an increase.
+
+Per candidate edge ``e`` (over the columns it covers) the analogous
+``D_M, N D_M, D_m, N D_m`` are defined, feeding the five selection
+conditions of Section 3.4.
+
+Coverage convention: a trunk edge spanning columns ``[lo, hi]`` covers the
+half-open column range ``lo .. hi-1`` — so two trunks of the same net
+meeting at a branching point do not double-count the junction column.
+Branch and correspondence edges never contribute to the profiles (the
+paper counts trunk edges only), but when the selection heuristics need
+density parameters *at* such an edge they are evaluated over the single
+column the edge occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..routegraph.graph import EdgeKind, RouteEdge
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """``C_M, NC_M, C_m, NC_m`` of one channel."""
+
+    c_max: int
+    nc_max: int
+    c_min: int
+    nc_min: int
+
+
+@dataclass(frozen=True)
+class EdgeDensityParams:
+    """``D_M, ND_M, D_m, ND_m`` of one edge, given its channel's stats."""
+
+    d_max: int
+    nd_max: int
+    d_min: int
+    nd_min: int
+
+
+def coverage_columns(edge: RouteEdge) -> Tuple[int, int]:
+    """Inclusive column range an edge covers for density purposes."""
+    if edge.kind is EdgeKind.TRUNK:
+        return edge.interval.lo, max(edge.interval.lo, edge.interval.hi - 1)
+    return edge.interval.lo, edge.interval.lo
+
+
+class DensityEngine:
+    """Incremental ``d_M``/``d_m`` maps with per-channel version stamps.
+
+    The router caches selection keys per candidate edge; ``version[c]``
+    lets it detect exactly which cached density sub-keys went stale after
+    a deletion touched channel ``c``.
+    """
+
+    def __init__(self, n_channels: int, width_columns: int):
+        if n_channels < 1 or width_columns < 1:
+            raise RoutingError("density engine needs >=1 channel and column")
+        self.n_channels = n_channels
+        self.width_columns = width_columns
+        self.d_max = [
+            np.zeros(width_columns, dtype=np.int32)
+            for _ in range(n_channels)
+        ]
+        self.d_min = [
+            np.zeros(width_columns, dtype=np.int32)
+            for _ in range(n_channels)
+        ]
+        self.version = [0] * n_channels
+        self._stats_cache: Dict[int, ChannelStats] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_edge(self, edge: RouteEdge, weight: int = 1) -> None:
+        """Count a newly alive trunk edge in ``d_M`` (no-op otherwise)."""
+        self._apply(edge, weight, self.d_max)
+
+    def remove_edge(self, edge: RouteEdge, weight: int = 1) -> None:
+        """Remove a no-longer-alive trunk edge from ``d_M``."""
+        self._apply(edge, -weight, self.d_max)
+
+    def add_bridge(self, edge: RouteEdge, weight: int = 1) -> None:
+        """Count a newly essential trunk edge in ``d_m``."""
+        self._apply(edge, weight, self.d_min)
+
+    def remove_bridge(self, edge: RouteEdge, weight: int = 1) -> None:
+        """Remove an essential trunk edge from ``d_m`` (rip-up only)."""
+        self._apply(edge, -weight, self.d_min)
+
+    def _apply(
+        self, edge: RouteEdge, delta: int, maps: List[np.ndarray]
+    ) -> None:
+        if edge.kind is not EdgeKind.TRUNK or delta == 0:
+            return
+        channel = edge.channel
+        self._check_channel(channel)
+        lo, hi = coverage_columns(edge)
+        if hi >= self.width_columns:
+            raise RoutingError(
+                f"trunk edge covers column {hi} beyond chip width "
+                f"{self.width_columns}"
+            )
+        maps[channel][lo : hi + 1] += delta
+        if maps[channel][lo : hi + 1].min() < 0:
+            raise RoutingError(
+                f"negative density in channel {channel} — unbalanced "
+                "add/remove"
+            )
+        self.version[channel] += 1
+        self._stats_cache.pop(channel, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def channel_stats(self, channel: int) -> ChannelStats:
+        """``C_M, NC_M, C_m, NC_m`` (cached until the channel changes)."""
+        self._check_channel(channel)
+        cached = self._stats_cache.get(channel)
+        if cached is not None:
+            return cached
+        dM = self.d_max[channel]
+        dm = self.d_min[channel]
+        c_max = int(dM.max())
+        nc_max = int((dM == c_max).sum())
+        c_min = int(dm.max())
+        nc_min = int((dm == c_min).sum())
+        stats = ChannelStats(c_max, nc_max, c_min, nc_min)
+        self._stats_cache[channel] = stats
+        return stats
+
+    def edge_params(self, edge: RouteEdge) -> EdgeDensityParams:
+        """``D_M, ND_M, D_m, ND_m`` of an edge over its coverage.
+
+        ``ND_M`` counts covered columns sitting at the channel's ``C_M``
+        (and likewise ``ND_m`` at ``C_m``), matching Fig. 4.
+        """
+        channel = edge.channel
+        self._check_channel(channel)
+        stats = self.channel_stats(channel)
+        lo, hi = coverage_columns(edge)
+        hi = min(hi, self.width_columns - 1)
+        window_max = self.d_max[channel][lo : hi + 1]
+        window_min = self.d_min[channel][lo : hi + 1]
+        return EdgeDensityParams(
+            d_max=int(window_max.max()),
+            nd_max=int((window_max == stats.c_max).sum()),
+            d_min=int(window_min.max()),
+            nd_min=int((window_min == stats.c_min).sum()),
+        )
+
+    def density_at(self, channel: int, column: int) -> Tuple[int, int]:
+        """``(d_M, d_m)`` at one column."""
+        self._check_channel(channel)
+        if not (0 <= column < self.width_columns):
+            raise RoutingError(f"column {column} out of range")
+        return (
+            int(self.d_max[channel][column]),
+            int(self.d_min[channel][column]),
+        )
+
+    def total_peak(self) -> int:
+        """``Σ_c C_M(c)`` — the router's running area estimate."""
+        return sum(
+            self.channel_stats(c).c_max for c in range(self.n_channels)
+        )
+
+    def max_channel(self) -> int:
+        """The channel with the highest ``C_M`` (ties: lowest index)."""
+        return max(
+            range(self.n_channels),
+            key=lambda c: (self.channel_stats(c).c_max, -c),
+        )
+
+    def profile(self, channel: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(d_M, d_m)`` for one channel (Fig. 4 chart data)."""
+        self._check_channel(channel)
+        return self.d_max[channel].copy(), self.d_min[channel].copy()
+
+    def _check_channel(self, channel: int) -> None:
+        if not (0 <= channel < self.n_channels):
+            raise RoutingError(f"channel {channel} out of range")
+
+    def __repr__(self) -> str:
+        return (
+            f"DensityEngine({self.n_channels} channels × "
+            f"{self.width_columns} columns, Σ C_M={self.total_peak()})"
+        )

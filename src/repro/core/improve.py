@@ -1,0 +1,124 @@
+"""The three improvement phases (Section 3.5, lines 08–10 of Fig. 2).
+
+All three phases rip up and reroute nets one by one, reusing the initial
+routing's selection machinery:
+
+* **violation recovery** — while constraints are violated, every net on a
+  violated constraint's critical path is rerouted (most-violated
+  constraint first);
+* **delay improvement** — all critical-path nets of all constraints are
+  rerouted, constraints with smaller margin ``M(P)`` first (net order
+  within a path is arbitrary — we keep path order);
+* **area improvement** — nets running through the most congested columns
+  are rerouted first, under the area-variant comparator (densities before
+  ``Gl``/``LD``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from ..routegraph.graph import EdgeKind
+from .selection import SelectionMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .router import GlobalRouter
+
+
+def recover_violations(router: "GlobalRouter") -> int:
+    """Line 08: reroute critical-path nets of violated constraints.
+
+    Returns the number of reroutes attempted.
+    """
+    attempts = 0
+    for _ in range(router.config.max_recovery_passes):
+        timings = router._ensure_timings()
+        violated = sorted(
+            (t for t in timings.values() if t.violated),
+            key=lambda t: t.margin_ps,
+        )
+        if not violated:
+            break
+        progressed = False
+        for timing in violated:
+            for net in timing.critical_nets():
+                if net.name not in router.states:
+                    continue
+                attempts += 1
+                if router.reroute_net(net.name, SelectionMode.TIMING):
+                    progressed = True
+        if not progressed:
+            break
+    remaining = sum(
+        1 for t in router._ensure_timings().values() if t.violated
+    )
+    router._log(
+        "recover_violate",
+        f"{attempts} reroutes, {remaining} violations remain",
+        float(remaining),
+    )
+    return attempts
+
+
+def improve_delay(router: "GlobalRouter") -> int:
+    """Line 09: reroute all critical-path nets, tightest margin first."""
+    attempts = 0
+    for _ in range(router.config.max_delay_passes):
+        timings = router._ensure_timings()
+        ordered = sorted(timings.values(), key=lambda t: t.margin_ps)
+        rerouted: Set[str] = set()
+        for timing in ordered:
+            for net in timing.critical_nets():
+                if net.name not in router.states or net.name in rerouted:
+                    continue
+                rerouted.add(net.name)
+                attempts += 1
+                router.reroute_net(net.name, SelectionMode.TIMING)
+    router._log("improve_delay", f"{attempts} reroutes", float(attempts))
+    return attempts
+
+
+def improve_area(router: "GlobalRouter") -> int:
+    """Line 10: reroute nets through the congestion peak, area comparator."""
+    attempts = 0
+    for _ in range(router.config.max_area_passes):
+        targets = _congested_nets(router)
+        if not targets:
+            break
+        for net_name in targets[: router.config.area_nets_per_pass]:
+            attempts += 1
+            router.reroute_net(net_name, SelectionMode.AREA)
+    router._log("improve_area", f"{attempts} reroutes", float(attempts))
+    return attempts
+
+
+def _congested_nets(router: "GlobalRouter") -> List[str]:
+    """Nets with final wiring over the peak-density columns of the most
+    congested channel, widest coverage first."""
+    engine = router.engine
+    channel = engine.max_channel()
+    stats = engine.channel_stats(channel)
+    if stats.c_max == 0:
+        return []
+    peak_columns = {
+        column
+        for column in range(engine.width_columns)
+        if engine.d_max[channel][column] == stats.c_max
+    }
+    scored = []
+    for name in sorted(router.states):
+        state = router.states[name]
+        if state.is_follower:
+            continue
+        coverage = 0
+        for edge in state.graph.alive_edges():
+            if edge.kind is not EdgeKind.TRUNK or edge.channel != channel:
+                continue
+            lo, hi = edge.interval.lo, edge.interval.hi - 1
+            coverage += sum(
+                1 for column in peak_columns if lo <= column <= hi
+            )
+        if coverage:
+            scored.append((coverage, name))
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [name for _, name in scored]

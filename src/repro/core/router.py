@@ -1,0 +1,803 @@
+"""The global router (Fig. 2).
+
+Flow (line numbers refer to the paper's Algorithm Global_Router):
+
+* 01 — external-pin and feedthrough assignment, with feed-cell insertion
+  when slots run out (Sections 3.1, 4.3);
+* 02 — routing graphs ``G_r(n)`` for every net;
+* 03 — delay constraint graphs ``G_d(P)``;
+* 04–07 — the **initial routing loop**: all nets' deletable edges compete
+  globally; each iteration the selection heuristics (Section 3.4) pick
+  one edge, it is deleted (together with its differential-pair mirror,
+  Section 4.1), and the density/delay criteria are updated incrementally;
+* 08–10 — three rip-up-and-reroute improvement phases (Section 3.5),
+  driven by :mod:`repro.core.improve`.
+
+Everything the criteria need is cached with version stamps: per-channel
+density versions, a global timing version, and per-net graph state, so
+the selection loop recomputes only keys invalidated by the last deletion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bipolar.differential import (
+    PairCorrespondence,
+    establish_correspondence,
+)
+from ..bipolar.multipitch import density_weight
+from ..errors import RoutingError
+from ..layout.feedcell import FeedCellInserter, InsertionReport
+from ..layout.feedthrough import FeedthroughAssignment, FeedthroughPlanner
+from ..layout.floorplan import Floorplan, assign_external_pins
+from ..layout.placement import Placement
+from ..netlist.circuit import Circuit, ExternalPin, Net, Terminal
+from ..netlist.validate import validate_circuit
+from ..routegraph.build import build_routing_graph
+from ..routegraph.graph import EdgeKind, RouteEdge, RoutingGraph
+from ..routegraph.tentative_tree import ESTIMATORS, TentativeTree
+from ..timing.constraint import (
+    ConstraintGraph,
+    PathConstraint,
+    build_constraint_graph,
+)
+from ..timing.delay_graph import GlobalDelayGraph
+from ..timing.delay_model import CapacitanceDelayModel
+from ..timing.sta import (
+    ConstraintTiming,
+    StaticTimingAnalyzer,
+    WireCaps,
+    net_criticality_order,
+)
+from .config import RouterConfig
+from .criteria import DelayCriteria, NetTimingContext, evaluate_delay_criteria
+from .density import DensityEngine
+from .result import (
+    AttachSide,
+    ChannelAttachment,
+    GlobalRoutingResult,
+    NetRoute,
+    PhaseEvent,
+    RoutedEdge,
+)
+from .selection import SelectionMode, selection_key
+
+
+class _NetState:
+    """Mutable per-net routing state."""
+
+    __slots__ = (
+        "net",
+        "graph",
+        "tree",
+        "cl_pf",
+        "cl_if_deleted",
+        "context",
+        "pair",
+        "follower_of",
+        "key_cache",
+    )
+
+    def __init__(self, net: Net, graph: RoutingGraph):
+        self.net = net
+        self.graph = graph
+        self.tree: Optional[TentativeTree] = None
+        self.cl_pf = 0.0
+        self.cl_if_deleted: Dict[int, float] = {}
+        self.context: Optional[NetTimingContext] = None
+        self.pair: Optional[PairCorrespondence] = None
+        self.follower_of: Optional[str] = None
+        self.key_cache: Dict[int, Tuple[tuple, int, int]] = {}
+
+    @property
+    def is_follower(self) -> bool:
+        return self.follower_of is not None
+
+
+class GlobalRouter:
+    """Timing- and area-driven edge-deletion global router."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Sequence[PathConstraint] = (),
+        config: RouterConfig = RouterConfig(),
+    ):
+        self.circuit = circuit
+        self.placement = placement
+        self.constraints = list(constraints)
+        self.config = config
+        self.delay_model = CapacitanceDelayModel(
+            config.technology, config.width_cap_exponent
+        )
+        self._estimate_tree = ESTIMATORS[config.tree_estimator]
+
+        # Populated by route():
+        self.gd: Optional[GlobalDelayGraph] = None
+        self.constraint_graphs: List[ConstraintGraph] = []
+        self.analyzer: Optional[StaticTimingAnalyzer] = None
+        self.caps = WireCaps()
+        self.engine: Optional[DensityEngine] = None
+        self.states: Dict[str, _NetState] = {}
+        self.planner: Optional[FeedthroughPlanner] = None
+        self.assignment: Optional[FeedthroughAssignment] = None
+        self.insertion_report = InsertionReport()
+
+        self.deletions = 0
+        self.reroutes = 0
+        self.phase_log: List[PhaseEvent] = []
+        self._timings: Dict[str, ConstraintTiming] = {}
+        self._timing_dirty = True
+        self._timing_version = 0
+        self._routed = False
+
+    # ==================================================================
+    # Top level
+    # ==================================================================
+    def route(self) -> GlobalRoutingResult:
+        """Run the full Fig. 2 flow and return the routing result."""
+        if self._routed:
+            raise RoutingError("route() may only be called once")
+        self._routed = True
+        start = time.perf_counter()
+
+        validate_circuit(self.circuit)
+        self._log("setup", "validated netlist")
+        self._build_timing()
+        self._assign_pins_and_feedthroughs()
+        self._build_routing_graphs()
+        self._init_density_and_trees()
+
+        self._log("initial", "edge-deletion loop starts")
+        self._deletion_loop(list(self._lead_states()), SelectionMode.TIMING)
+        self._log("initial", "loop done", float(self.deletions))
+
+        from .improve import (  # local import avoids a module cycle
+            improve_area,
+            improve_delay,
+            recover_violations,
+        )
+
+        if self.config.timing_driven and self.config.run_violation_recovery:
+            recover_violations(self)
+        if self.config.timing_driven and self.config.run_delay_improvement:
+            improve_delay(self)
+        if self.config.run_area_improvement:
+            improve_area(self)
+
+        self._finalize_trees()
+        elapsed = time.perf_counter() - start
+        return self._build_result(elapsed)
+
+    # ==================================================================
+    # Setup stages
+    # ==================================================================
+    def _build_timing(self) -> None:
+        self.gd = GlobalDelayGraph.build(
+            self.circuit,
+            pad_tf_ps_per_pf=self.config.pad_tf_ps_per_pf,
+            pad_td_ps_per_pf=self.config.pad_td_ps_per_pf,
+            ff_setup_ps=self.config.ff_setup_ps,
+        )
+        self.constraint_graphs = [
+            build_constraint_graph(self.gd, constraint)
+            for constraint in self.constraints
+        ]
+        self.analyzer = StaticTimingAnalyzer(self.gd, self.constraint_graphs)
+        self._log(
+            "setup",
+            f"G_D: {len(self.gd.vertices)} vertices, "
+            f"{len(self.gd.arcs)} arcs, "
+            f"{len(self.constraint_graphs)} constraints",
+        )
+
+    def _assign_pins_and_feedthroughs(self) -> None:
+        assign_external_pins(self.circuit, self.placement)
+        ordered = self._assignment_order()
+        inserter = FeedCellInserter(self.circuit, self.placement)
+        self.planner, self.assignment, self.insertion_report = (
+            inserter.ensure_assignment(ordered)
+        )
+        self._ordered_nets = ordered
+        if self.insertion_report.insertion_ran:
+            self._log(
+                "assignment",
+                f"feed-cell insertion added "
+                f"{self.insertion_report.inserted_cells} cells, widened "
+                f"chip by {self.insertion_report.widening_columns} columns",
+            )
+        else:
+            self._log("assignment", "first-pass feedthrough assignment ok")
+
+    def _assignment_order(self) -> List[Net]:
+        """Net order for feedthrough assignment (Section 3.1).
+
+        Default (``assignment_order=None``): ascending zero-interconnect
+        slack when timing-driven — so critical nets get the slots nearest
+        their centres — and netlist order for the unconstrained baseline,
+        which has no slack information.
+        """
+        nets = self.circuit.routable_nets
+        order = self.config.assignment_order
+        if order is None:
+            order = (
+                "slack"
+                if self.config.timing_driven and self.constraint_graphs
+                else "netlist"
+            )
+        if order == "slack":
+            return net_criticality_order(
+                self.analyzer, nets, WireCaps.zero()
+            )
+        if order == "netlist":
+            return list(nets)
+        if order == "fanout":
+            return sorted(nets, key=lambda n: (-n.fanout, n.name))
+        if order == "hpwl":
+            def span(net: Net) -> int:
+                columns = [
+                    self.placement.pin_position(pin)[0]
+                    for pin in net.pins
+                ]
+                return max(columns) - min(columns)
+
+            return sorted(nets, key=lambda n: (-span(n), n.name))
+        raise RoutingError(f"unknown assignment order {order!r}")
+
+    def _build_routing_graphs(self) -> None:
+        contexts = NetTimingContext.build_all(
+            self.circuit.routable_nets,
+            self.constraint_graphs if self.config.timing_driven else [],
+        )
+        for net in self.circuit.routable_nets:
+            graph = build_routing_graph(
+                net,
+                self.placement,
+                self.assignment.of_net(net),
+                self.config.technology,
+            )
+            state = _NetState(net, graph)
+            state.context = contexts[net.name]
+            self.states[net.name] = state
+        self._pair_up()
+        self._log("setup", f"built {len(self.states)} routing graphs")
+
+    def _pair_up(self) -> None:
+        """Establish Section 4.1 correspondences for differential pairs."""
+        for lead_net, partner_net in self.circuit.differential_pairs():
+            lead = self.states.get(lead_net.name)
+            partner = self.states.get(partner_net.name)
+            if lead is None or partner is None:
+                continue
+            pair = establish_correspondence(lead.graph, partner.graph)
+            if pair is None:
+                self._log(
+                    "pairs",
+                    f"{lead_net.name}/{partner_net.name}: graphs not "
+                    "homogeneous — routing independently",
+                )
+                continue
+            lead.pair = pair
+            partner.follower_of = lead_net.name
+            self._log(
+                "pairs",
+                f"{lead_net.name}/{partner_net.name}: correspondence "
+                f"established over {len(pair.edge_map)} edges",
+            )
+
+    def _init_density_and_trees(self) -> None:
+        self.engine = DensityEngine(
+            self.placement.n_channels, max(1, self.placement.width_columns)
+        )
+        for state in self.states.values():
+            self._register_density(state)
+            self._refresh_tree(state)
+        self._timing_dirty = True
+
+    # ==================================================================
+    # Density bookkeeping
+    # ==================================================================
+    def _register_density(self, state: _NetState) -> None:
+        weight = density_weight(state.net)
+        for edge in state.graph.alive_edges():
+            self.engine.add_edge(edge, weight)
+            if state.graph.essential[edge.index]:
+                self.engine.add_bridge(edge, weight)
+
+    def _unregister_density(self, state: _NetState) -> None:
+        weight = density_weight(state.net)
+        for edge in state.graph.alive_edges():
+            self.engine.remove_edge(edge, weight)
+            if state.graph.essential[edge.index]:
+                self.engine.remove_bridge(edge, weight)
+
+    # ==================================================================
+    # Tentative trees and wire caps
+    # ==================================================================
+    def _refresh_tree(self, state: _NetState) -> None:
+        tree = self._estimate_tree(state.graph)
+        if tree is None:
+            raise RoutingError(
+                f"net {state.net.name}: terminals unreachable"
+            )
+        state.tree = tree
+        state.cl_pf = self.delay_model.wire_cap_pf(
+            tree.total_length_um, state.net.width_pitches
+        )
+        self.caps.set(state.net, state.cl_pf)
+        state.cl_if_deleted.clear()
+        state.key_cache.clear()
+        if self.config.timing_driven and state.context.constrained:
+            self._timing_dirty = True
+
+    def _cl_if_deleted(self, state: _NetState, edge_id: int) -> float:
+        cached = state.cl_if_deleted.get(edge_id)
+        if cached is not None:
+            return cached
+        tree = self._estimate_tree(state.graph, skip_edge=edge_id)
+        if tree is None:
+            raise RoutingError(
+                f"net {state.net.name}: edge {edge_id} is essential but "
+                "was offered as a candidate"
+            )
+        cl = self.delay_model.wire_cap_pf(
+            tree.total_length_um, state.net.width_pitches
+        )
+        state.cl_if_deleted[edge_id] = cl
+        return cl
+
+    # ==================================================================
+    # Timing
+    # ==================================================================
+    def _ensure_timings(self) -> Dict[str, ConstraintTiming]:
+        if self._timing_dirty:
+            self._timings = self.analyzer.analyze_all(self.caps)
+            self._timing_dirty = False
+            self._timing_version += 1
+        return self._timings
+
+    # ==================================================================
+    # Selection
+    # ==================================================================
+    def _lead_states(self) -> List[_NetState]:
+        """States that own candidates (followers mirror their lead)."""
+        return [
+            self.states[name]
+            for name in sorted(self.states)
+            if not self.states[name].is_follower
+        ]
+
+    def _key_for(
+        self, state: _NetState, edge_id: int, mode: SelectionMode
+    ) -> tuple:
+        edge = state.graph.edges[edge_id]
+        dens_version = self.engine.version[edge.channel]
+        cached = state.key_cache.get(edge_id)
+        if cached is not None:
+            key, cached_dens, cached_timing = cached
+            if cached_dens == dens_version and (
+                cached_timing == self._timing_version
+            ):
+                return key
+        delay = DelayCriteria.ZERO
+        if self.config.timing_driven and state.context.constrained:
+            timings = self._ensure_timings()
+            delay = evaluate_delay_criteria(
+                state.context,
+                state.cl_pf,
+                self._cl_if_deleted(state, edge_id),
+                timings,
+            )
+        stats = self.engine.channel_stats(edge.channel)
+        params = self.engine.edge_params(edge)
+        key = selection_key(
+            edge, delay, stats, params, mode,
+            tie_break=(state.net.name, edge_id),
+        )
+        state.key_cache[edge_id] = (
+            key,
+            dens_version,
+            self._timing_version,
+        )
+        return key
+
+    def _best_candidate(
+        self, states: Sequence[_NetState], mode: SelectionMode
+    ) -> Optional[Tuple[_NetState, int]]:
+        if self.config.timing_driven:
+            self._ensure_timings()
+        best_key = None
+        best: Optional[Tuple[_NetState, int]] = None
+        for state in states:
+            for edge_id in state.graph.deletable_edges():
+                key = self._key_for(state, edge_id, mode)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (state, edge_id)
+        return best
+
+    # ==================================================================
+    # Deletion
+    # ==================================================================
+    def _deletion_loop(
+        self, states: Sequence[_NetState], mode: SelectionMode
+    ) -> int:
+        """Delete edges until no state in ``states`` has a deletable one.
+
+        Returns the number of deletions performed.
+        """
+        count = 0
+        while True:
+            choice = self._best_candidate(states, mode)
+            if choice is None:
+                return count
+            state, edge_id = choice
+            self._delete_edge(state, edge_id)
+            count += 1
+
+    def _delete_edge(self, state: _NetState, edge_id: int) -> None:
+        """Delete one edge plus its differential mirror; update caches."""
+        self._apply_deletion(state, edge_id)
+        if state.pair is not None:
+            self._mirror_deletion(state, edge_id)
+        self.deletions += 1
+
+    def _apply_deletion(self, state: _NetState, edge_id: int) -> None:
+        weight = density_weight(state.net)
+        result = state.graph.delete(edge_id)
+        for removed in result.removed:
+            self.engine.remove_edge(state.graph.edges[removed], weight)
+        for essential in result.newly_essential:
+            self.engine.add_bridge(state.graph.edges[essential], weight)
+        self._refresh_tree(state)
+
+    def _mirror_deletion(self, state: _NetState, edge_id: int) -> None:
+        partner = self.states[state.pair.partner_net]
+        partner_edge = state.pair.edge_map.get(edge_id)
+        if partner_edge is None:
+            self._break_pair(state)
+            return
+        if (
+            not partner.graph.alive[partner_edge]
+            or partner.graph.essential[partner_edge]
+        ):
+            self._break_pair(state)
+            return
+        self._apply_deletion(partner, partner_edge)
+
+    def _break_pair(self, state: _NetState) -> None:
+        """Give up on lock-step routing for a diverged pair."""
+        partner = self.states[state.pair.partner_net]
+        self._log(
+            "pairs",
+            f"{state.net.name}/{partner.net.name}: correspondence broken — "
+            "finishing independently",
+        )
+        partner.follower_of = None
+        state.pair = None
+
+    # ==================================================================
+    # Rip-up and reroute (used by the Section 3.5 phases)
+    # ==================================================================
+    def reroute_net(self, net_name: str, mode: SelectionMode) -> bool:
+        """Rip up one net (pair) and reroute it under ``mode``.
+
+        When ``config.revert_worse_reroutes`` is set, the phase metric is
+        compared before/after and a worse route is rolled back.  Returns
+        whether the new route was kept.
+        """
+        state = self.states[net_name]
+        if state.is_follower:
+            state = self.states[state.follower_of]
+        members = [state]
+        # A differential partner shares the slot corridor, so its graph
+        # must be rebuilt alongside even if the lock-step correspondence
+        # was abandoned earlier.
+        if state.net.is_differential:
+            partner_state = self.states.get(state.net.diff_partner.name)
+            if partner_state is not None and partner_state is not state:
+                members.append(partner_state)
+
+        before_metric = self._phase_metric(mode)
+        snapshot = [
+            (m, m.graph, m.tree, m.cl_pf) for m in members
+        ]
+        slot_snapshot = self._capture_slots(members)
+        if self.config.reassign_slots_on_reroute:
+            self._try_reassign_slots(members, slot_snapshot)
+
+        for member in members:
+            self._unregister_density(member)
+            member.graph = build_routing_graph(
+                member.net,
+                self.placement,
+                self.assignment.of_net(member.net),
+                self.config.technology,
+            )
+            self._register_density(member)
+            self._refresh_tree(member)
+        if state.pair is not None:
+            pair = establish_correspondence(
+                state.graph, self.states[state.pair.partner_net].graph
+            )
+            if pair is None:
+                # Both members stay in the deletion loop, just without
+                # lock-step mirroring.
+                self._break_pair(state)
+            else:
+                state.pair = pair
+
+        self._deletion_loop(members, mode)
+        self.reroutes += 1
+
+        if not self.config.revert_worse_reroutes:
+            return True
+        after_metric = self._phase_metric(mode)
+        if after_metric <= before_metric:
+            return True
+        # Roll back to the snapshot (routes and feedthrough slots).
+        self._restore_slots(members, slot_snapshot)
+        for member, graph, tree, cl in snapshot:
+            self._unregister_density(member)
+            member.graph = graph
+            self._register_density(member)
+            member.tree = tree
+            member.cl_pf = cl
+            self.caps.set(member.net, cl)
+            member.cl_if_deleted.clear()
+            member.key_cache.clear()
+        if state.pair is not None:
+            # The correspondence was rebuilt against the discarded graphs;
+            # re-establish it on the restored ones.
+            restored = establish_correspondence(
+                state.graph, self.states[state.pair.partner_net].graph
+            )
+            if restored is None:
+                self._break_pair(state)
+            else:
+                state.pair = restored
+        self._timing_dirty = True
+        return False
+
+    def _capture_slots(
+        self, members: Sequence[_NetState]
+    ) -> Dict[str, Dict[int, object]]:
+        """Snapshot the members' current feedthrough slots."""
+        return {
+            member.net.name: dict(
+                self.assignment.slots.get(member.net.name, {})
+            )
+            for member in members
+        }
+
+    @staticmethod
+    def _pair_lead_net(net: Net) -> Net:
+        """The net that owns the pair's slot corridor (name-ordered)."""
+        if net.is_differential and net.diff_partner.name < net.name:
+            return net.diff_partner
+        return net
+
+    def _restore_slots(
+        self,
+        members: Sequence[_NetState],
+        snapshot: Dict[str, Dict[int, object]],
+    ) -> None:
+        """Re-occupy exactly the snapshotted slots."""
+        lead_net = members[0].net
+        self.planner.release_net(lead_net)
+        for member in members:
+            self.assignment.drop_net(member.net)
+        for name, by_row in snapshot.items():
+            net = self.circuit.net(name)
+            for row, slot in by_row.items():
+                self.planner.rows[row].occupy(slot.x, slot.width, net)
+                self.assignment.record(slot)
+
+    def _try_reassign_slots(
+        self,
+        members: Sequence[_NetState],
+        snapshot: Dict[str, Dict[int, object]],
+    ) -> None:
+        """Release the members' slots and re-search from the net centre;
+        on failure, put the old slots back."""
+        lead_net = self._pair_lead_net(members[0].net)
+        self.planner.release_net(lead_net)
+        for member in members:
+            self.assignment.drop_net(member.net)
+        failures = self.planner.assign_net(lead_net, self.assignment)
+        if failures:
+            self._restore_slots(members, snapshot)
+
+    def _phase_metric(self, mode: SelectionMode) -> tuple:
+        """Comparable goodness metric (smaller is better) for reverts."""
+        from .criteria import penalty
+
+        violation = 0.0
+        pen_sum = 0.0
+        if self.config.timing_driven and self.constraint_graphs:
+            for timing in self._ensure_timings().values():
+                violation += max(0.0, -timing.margin_ps)
+                pen_sum += penalty(
+                    timing.margin_ps, timing.graph.limit_ps
+                )
+        peak = self.engine.total_peak()
+        length = sum(
+            s.graph.total_alive_length_um() for s in self.states.values()
+        )
+        if mode is SelectionMode.TIMING:
+            return (
+                round(violation, 6),
+                round(pen_sum, 9),
+                peak,
+                round(length, 3),
+            )
+        return (
+            round(violation, 6),
+            peak,
+            round(length, 3),
+            round(pen_sum, 9),
+        )
+
+    # ==================================================================
+    # Finalization
+    # ==================================================================
+    def _finalize_trees(self) -> None:
+        """Drive any straggler (e.g. a broken pair's partner) to a tree."""
+        stragglers = [
+            state
+            for state in self.states.values()
+            if not state.graph.is_tree
+        ]
+        if stragglers:
+            self._deletion_loop(stragglers, SelectionMode.TIMING)
+        for state in self.states.values():
+            if not state.graph.is_tree:
+                raise RoutingError(
+                    f"net {state.net.name} did not converge to a tree"
+                )
+
+    def _build_result(self, elapsed: float) -> GlobalRoutingResult:
+        routes: Dict[str, NetRoute] = {}
+        total_length = 0.0
+        for name in sorted(self.states):
+            state = self.states[name]
+            route = self._net_route(state)
+            routes[name] = route
+            total_length += route.total_length_um
+
+        margins = {}
+        if self.constraint_graphs:
+            self._timing_dirty = True
+            for cname, timing in self._ensure_timings().items():
+                margins[cname] = timing.margin_ps
+
+        peak_density = {
+            channel: self.engine.channel_stats(channel).c_max
+            for channel in range(self.engine.n_channels)
+        }
+        floorplan = Floorplan.from_placement(
+            self.placement, peak_density, self.config.technology
+        )
+        critical = self.analyzer.graph_critical_delay(self.caps)
+        return GlobalRoutingResult(
+            circuit_name=self.circuit.name,
+            routes=routes,
+            wire_caps=self.caps.copy(),
+            constraint_margins=margins,
+            critical_delay_ps=critical,
+            channel_peak_density=peak_density,
+            estimated_floorplan=floorplan,
+            total_length_um=total_length,
+            cpu_seconds=elapsed,
+            deletions=self.deletions,
+            reroutes=self.reroutes,
+            phase_log=list(self.phase_log),
+            feed_cells_inserted=self.insertion_report.inserted_cells,
+            chip_widened_columns=self.insertion_report.widening_columns,
+        )
+
+    def _net_route(self, state: _NetState) -> NetRoute:
+        edges = [
+            RoutedEdge(e.kind, e.channel, e.interval, e.length_um)
+            for e in state.graph.final_wiring()
+        ]
+        attachments = _attachments_of(state.graph)
+        segments, sink_names = _elmore_tree_of(state.graph)
+        return NetRoute(
+            net_name=state.net.name,
+            width_pitches=state.net.width_pitches,
+            edges=edges,
+            attachments=attachments,
+            total_length_um=state.graph.total_alive_length_um(),
+            wire_cap_pf=state.cl_pf,
+            elmore_segments=segments,
+            sink_pin_names=sink_names,
+        )
+
+    # ==================================================================
+    def _log(self, phase: str, detail: str, value: float = 0.0) -> None:
+        self.phase_log.append(PhaseEvent(phase, detail, value))
+
+
+def _elmore_tree_of(graph: RoutingGraph):
+    """Driver-rooted wire segments of a converged net, for the RC model.
+
+    Returns ``(segments, sink_pin_names)`` where segments follow the
+    :class:`~repro.timing.delay_model.WireSegment` convention: each final
+    wiring edge becomes one segment whose parent is the segment through
+    which the driver reaches it; a segment ending on a (non-driver)
+    terminal vertex records that pin's sink index.
+    """
+    from ..timing.delay_model import WireSegment
+
+    width = graph.net.width_pitches
+    segments: List[WireSegment] = []
+    sink_names: List[str] = []
+    segment_of_vertex = {graph.driver_vertex: -1}
+    queue = [graph.driver_vertex]
+    while queue:
+        vertex = queue.pop(0)
+        parent_segment = segment_of_vertex[vertex]
+        for edge, other in graph.neighbours(vertex):
+            if other in segment_of_vertex:
+                continue
+            other_vertex = graph.vertices[other]
+            sink_index = -1
+            if other_vertex.is_terminal and other != graph.driver_vertex:
+                sink_index = len(sink_names)
+                sink_names.append(other_vertex.pin.full_name)
+            segments.append(
+                WireSegment(
+                    parent=parent_segment,
+                    length_um=edge.length_um,
+                    width_pitches=width,
+                    sink_index=sink_index,
+                )
+            )
+            segment_of_vertex[other] = len(segments) - 1
+            queue.append(other)
+    return segments, sink_names
+
+
+def _attachments_of(graph: RoutingGraph) -> List[ChannelAttachment]:
+    """Channel entry points of a net's final wiring (for channel routing)."""
+    attachments: List[ChannelAttachment] = []
+    for edge in graph.alive_edges():
+        if edge.kind is EdgeKind.CORRESPONDENCE:
+            terminal = graph.vertices[edge.u]
+            position = graph.vertices[edge.v]
+            if not terminal.is_terminal:
+                terminal, position = position, terminal
+            pin = terminal.pin
+            channel = position.channel
+            if isinstance(pin, Terminal):
+                # Row r touches channel r from above and channel r+1 from
+                # below.
+                side = (
+                    AttachSide.TOP
+                    if channel == terminal.channel
+                    else AttachSide.BOTTOM
+                )
+                # terminal.channel stores the pin's lower access channel,
+                # which equals its row index for cell terminals.
+            else:
+                side = (
+                    AttachSide.BOTTOM if channel == 0 else AttachSide.TOP
+                )
+            attachments.append(
+                ChannelAttachment(channel, position.x, side)
+            )
+        elif edge.kind is EdgeKind.BRANCH:
+            lower = min(edge.channel, edge.channel + 1)
+            attachments.append(
+                ChannelAttachment(lower, edge.interval.lo, AttachSide.TOP)
+            )
+            attachments.append(
+                ChannelAttachment(
+                    lower + 1, edge.interval.lo, AttachSide.BOTTOM
+                )
+            )
+    return attachments

@@ -1,0 +1,86 @@
+"""Edge-selection heuristics (Section 3.4).
+
+Each initial-routing iteration deletes the candidate edge whose removal
+does the *least timing damage* and the *most congestion good*.  Candidates
+are compared lexicographically:
+
+1.  ``C_d(e)`` — fewer would-be-violated constraints wins;
+2.  ``Gl(e)`` — smaller global penalty increase wins;
+3.  ``LD(e)`` — smaller local delay increase wins;
+4.  a **trunk** edge beats a non-trunk edge (deleting a trunk directly
+    lowers channel density; deleting a branch merely removes the *option*
+    of lowering it);
+5.  smaller ``F_m = C_m(c) − D_m(e)`` wins — prefer channels whose
+    guaranteed density is already close to the candidate's neighbourhood,
+    "so as not to increase C_m" elsewhere;
+6.  smaller ``N_m = NC_m(c) − ND_m(e)`` wins — fewer of the channel's
+    most-congested guaranteed columns left uncovered by the candidate;
+7.  smaller ``F_M = C_M(c) − D_M(e)`` wins — greedily delete where the
+    upper-bound density peaks;
+8.  smaller ``N_M = NC_M(c) − ND_M(e)`` wins;
+9.  the **longer** edge wins (it frees more wiring), and a final
+    deterministic tie-break on the candidate's identity.
+
+The area-improvement phase (Section 3.5) reorders the comparison: after
+``C_d`` the density conditions are examined, and ``Gl``/``LD`` come last.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from ..routegraph.graph import RouteEdge
+from .criteria import DelayCriteria
+from .density import ChannelStats, EdgeDensityParams
+
+
+class SelectionMode(enum.Enum):
+    """Which lexicographic ordering to use."""
+
+    TIMING = "timing"   # initial routing, violation recovery, delay phase
+    AREA = "area"       # area-improvement phase
+
+
+SelectionKey = Tuple
+"""Opaque comparable tuple; smaller is better (selected for deletion)."""
+
+
+def selection_key(
+    edge: RouteEdge,
+    delay: DelayCriteria,
+    stats: ChannelStats,
+    params: EdgeDensityParams,
+    mode: SelectionMode,
+    tie_break: Tuple = (),
+) -> SelectionKey:
+    """Build the comparable key of one candidate under ``mode``.
+
+    ``tie_break`` is appended last for determinism (typically
+    ``(net_name, edge_index)``).
+    """
+    density_part = (
+        0 if edge.is_trunk else 1,       # condition 4: prefer trunks
+        stats.c_min - params.d_min,      # condition 5: F_m
+        stats.nc_min - params.nd_min,    # condition 6: N_m
+        stats.c_max - params.d_max,      # condition 7: F_M
+        stats.nc_max - params.nd_max,    # condition 8: N_M
+    )
+    delay_part = (
+        delay.critical_count,
+        delay.global_delay,
+        delay.local_delay,
+    )
+    length_part = (-edge.length_um,)     # condition 9: longer edge wins
+    if mode is SelectionMode.TIMING:
+        return (
+            delay_part + density_part + length_part + tuple(tie_break)
+        )
+    # AREA mode: C_d first, then densities, then Gl / LD.
+    return (
+        (delay.critical_count,)
+        + density_part
+        + (delay.global_delay, delay.local_delay)
+        + length_part
+        + tuple(tie_break)
+    )

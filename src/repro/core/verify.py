@@ -1,0 +1,217 @@
+"""Routing verification — a design-rule checker for global routes.
+
+Independent of the router's internal state, :func:`verify_routing` checks
+a :class:`GlobalRoutingResult` against the netlist, placement, and
+feedthrough assignment:
+
+1. **completeness** — every routable net has a route;
+2. **tree legality** — each route's edges form one connected tree;
+3. **geometry** — every trunk lies inside the chip and inside a legal
+   channel; every branch sits on a feedthrough slot granted to that net;
+4. **slot exclusivity** — no two nets share a feedthrough column;
+5. **terminal coverage** — each net's route attaches at every pin's
+   column/channel;
+6. **length accounting** — the reported total equals the edge sum.
+
+Violations come back as a list of human-readable strings (empty = clean),
+so the checker slots directly into tests, CI, and post-run sanity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..layout.feedthrough import FeedthroughAssignment
+from ..layout.placement import Placement
+from ..netlist.circuit import Circuit, Terminal
+from ..routegraph.graph import EdgeKind
+from .result import GlobalRoutingResult, NetRoute
+
+
+def verify_routing(
+    circuit: Circuit,
+    placement: Placement,
+    result: GlobalRoutingResult,
+    assignment: Optional[FeedthroughAssignment] = None,
+) -> List[str]:
+    """Check a routing result; returns all violations found."""
+    violations: List[str] = []
+    routable = {net.name for net in circuit.routable_nets}
+    missing = routable - set(result.routes)
+    for name in sorted(missing):
+        violations.append(f"net {name}: no route")
+    extra = set(result.routes) - routable
+    for name in sorted(extra):
+        violations.append(f"net {name}: routed but not routable")
+
+    slot_owner: Dict[Tuple[int, int], str] = {}
+    for name in sorted(result.routes):
+        if name not in routable:
+            continue
+        route = result.routes[name]
+        net = circuit.net(name)
+        violations.extend(_check_geometry(route, placement))
+        violations.extend(_check_tree(route))
+        violations.extend(_check_terminals(route, net, placement))
+        violations.extend(_check_length(route))
+        if assignment is not None:
+            violations.extend(
+                _check_slots(route, net, assignment, slot_owner)
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+def _check_geometry(route: NetRoute, placement: Placement) -> List[str]:
+    problems = []
+    width = placement.width_columns
+    for edge in route.edges:
+        if not (0 <= edge.channel < placement.n_channels):
+            problems.append(
+                f"net {route.net_name}: edge in illegal channel "
+                f"{edge.channel}"
+            )
+        if edge.interval.lo < 0 or edge.interval.hi >= max(1, width):
+            problems.append(
+                f"net {route.net_name}: edge spans columns "
+                f"{edge.interval.lo}..{edge.interval.hi} outside chip "
+                f"width {width}"
+            )
+        if edge.length_um < 0:
+            problems.append(
+                f"net {route.net_name}: negative edge length"
+            )
+    return problems
+
+
+def _check_tree(route: NetRoute) -> List[str]:
+    """The trunks and branches must form one connected structure.
+
+    The snapshot stores geometry, not graph endpoints, so connectivity is
+    checked physically: two wires touch when they share a point — trunks
+    of one channel with overlapping/abutting intervals, a branch tapping
+    anywhere along a trunk in either channel it joins, or two branches
+    stacked through adjacent rows at one column.  Pins connecting
+    segments *through a cell* (a terminal reachable from both adjacent
+    channels) also merge the wires at that pin's column.
+    """
+    trunks = [e for e in route.edges if e.kind is EdgeKind.TRUNK]
+    branches = [e for e in route.edges if e.kind is EdgeKind.BRANCH]
+    wires = trunks + branches
+    if len(wires) <= 1:
+        return []
+
+    parent = list(range(len(wires)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    def channels_of(edge) -> Tuple[int, ...]:
+        if edge.kind is EdgeKind.TRUNK:
+            return (edge.channel,)
+        return (edge.channel, edge.channel + 1)
+
+    def touches(a, b) -> bool:
+        shared = set(channels_of(a)) & set(channels_of(b))
+        if not shared:
+            return False
+        return a.interval.overlaps(b.interval)
+
+    for i in range(len(wires)):
+        for j in range(i + 1, len(wires)):
+            if touches(wires[i], wires[j]):
+                union(i, j)
+
+    # A pin reachable from both adjacent channels merges wires at its
+    # column (the route crosses through the cell).
+    columns_with_attachments: Dict[int, List[int]] = {}
+    for attachment in route.attachments:
+        columns_with_attachments.setdefault(
+            attachment.column, []
+        ).append(attachment.channel)
+    for column, channels in columns_with_attachments.items():
+        incident: List[int] = []
+        for channel in set(channels):
+            for index, wire in enumerate(wires):
+                if channel in channels_of(wire) and wire.interval.contains(
+                    column
+                ):
+                    incident.append(index)
+        for a, b in zip(incident, incident[1:]):
+            union(a, b)
+
+    roots = {find(i) for i in range(len(wires))}
+    if len(roots) > 1:
+        return [
+            f"net {route.net_name}: wiring is not connected "
+            f"({len(roots)} separate pieces)"
+        ]
+    return []
+
+
+def _check_terminals(
+    route: NetRoute, net, placement: Placement
+) -> List[str]:
+    problems = []
+    attach_points = {(a.channel, a.column) for a in route.attachments}
+    for pin in net.pins:
+        column, _ = placement.pin_position(pin)
+        channels = placement.pin_adjacent_channels(pin)
+        if not any(
+            (channel, column) in attach_points for channel in channels
+        ):
+            problems.append(
+                f"net {route.net_name}: pin {pin.full_name} at column "
+                f"{column} has no attachment"
+            )
+    return problems
+
+
+def _check_length(route: NetRoute) -> List[str]:
+    total = sum(edge.length_um for edge in route.edges)
+    if abs(total - route.total_length_um) > 1e-6:
+        return [
+            f"net {route.net_name}: reported length "
+            f"{route.total_length_um} != edge sum {total}"
+        ]
+    return []
+
+
+def _check_slots(
+    route: NetRoute,
+    net,
+    assignment: FeedthroughAssignment,
+    slot_owner: Dict[Tuple[int, int], str],
+) -> List[str]:
+    problems = []
+    granted = assignment.of_net(net)
+    granted_columns = {
+        (row, column)
+        for row, slot in granted.items()
+        for column in slot.columns
+    }
+    for edge in route.edges:
+        if edge.kind is not EdgeKind.BRANCH:
+            continue
+        key = (edge.channel, edge.interval.lo)
+        if key not in granted_columns:
+            problems.append(
+                f"net {route.net_name}: branch at row {edge.channel} "
+                f"column {edge.interval.lo} uses an ungranted slot"
+            )
+    for row, slot in granted.items():
+        for column in slot.columns:
+            owner = slot_owner.get((row, column))
+            if owner is not None and owner != net.name:
+                problems.append(
+                    f"slot row {row} column {column} granted to both "
+                    f"{owner} and {net.name}"
+                )
+            slot_owner[(row, column)] = net.name
+    return problems

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (bad references, dangling nets...)."""
+
+
+class PlacementError(ReproError):
+    """A placement is inconsistent with its netlist or overlaps cells."""
+
+
+class FeedthroughError(ReproError):
+    """Feedthrough assignment failed (typically: no free slot of the
+    required width in a row the net must cross)."""
+
+
+class RoutingError(ReproError):
+    """The global router reached an inconsistent state."""
+
+
+class RoutingGraphError(ReproError):
+    """A routing graph ``G_r(n)`` is malformed or an illegal operation was
+    attempted on it (e.g. deleting a non-deletable edge)."""
+
+
+class TimingError(ReproError):
+    """The delay graph or a timing constraint is invalid (e.g. a
+    combinational cycle, or a constraint between unreachable terminals)."""
+
+
+class ChannelRoutingError(ReproError):
+    """Detailed channel routing failed."""
+
+
+class ConfigError(ReproError):
+    """An invalid router or generator configuration value was supplied."""

@@ -1,0 +1,40 @@
+"""File I/O: a line-oriented netlist/placement text format and JSON
+result reports."""
+
+from .library_format import (
+    library_from_dict,
+    library_to_dict,
+    read_library,
+    write_library,
+)
+from .netlist_format import (
+    parse_circuit,
+    parse_placement,
+    read_circuit,
+    read_placement,
+    write_circuit,
+    write_placement,
+)
+from .json_report import (
+    global_result_to_dict,
+    run_record_to_dict,
+    signoff_to_dict,
+    write_json_report,
+)
+
+__all__ = [
+    "global_result_to_dict",
+    "library_from_dict",
+    "library_to_dict",
+    "read_library",
+    "write_library",
+    "parse_circuit",
+    "parse_placement",
+    "read_circuit",
+    "read_placement",
+    "run_record_to_dict",
+    "signoff_to_dict",
+    "write_circuit",
+    "write_json_report",
+    "write_placement",
+]

@@ -1,0 +1,121 @@
+"""JSON serialization of cell libraries.
+
+The ``.rnl`` netlist format stores cell *type names* only; the delay
+tables (``T0``/``Fin``/``Tf``/``Td``) travel with the library, like
+process data travels with a PDK.  This module round-trips a
+:class:`~repro.netlist.cell_library.CellLibrary` through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import NetlistError
+from ..netlist.cell_library import (
+    CellLibrary,
+    CellType,
+    TerminalDef,
+    TerminalDirection,
+)
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def library_to_dict(library: CellLibrary) -> Dict[str, Any]:
+    """Serialize a library to a JSON-ready dictionary."""
+    return {
+        "format": "repro-cell-library",
+        "version": _FORMAT_VERSION,
+        "name": library.name,
+        "cells": [_cell_to_dict(ct) for ct in library],
+    }
+
+
+def _cell_to_dict(ct: CellType) -> Dict[str, Any]:
+    return {
+        "name": ct.name,
+        "width": ct.width,
+        "sequential": ct.is_sequential,
+        "feed": ct.is_feed,
+        "terminals": [
+            {
+                "name": t.name,
+                "direction": t.direction.value,
+                "offset": t.offset,
+                "fanin_pf": t.fanin_pf,
+            }
+            for t in ct.terminals
+        ],
+        "intrinsic_ps": {
+            f"{ti}->{to}": value
+            for (ti, to), value in sorted(ct.intrinsic_ps.items())
+        },
+        "fanin_factor_ps_per_pf": dict(ct.fanin_factor_ps_per_pf),
+        "unit_cap_delay_ps_per_pf": dict(ct.unit_cap_delay_ps_per_pf),
+    }
+
+
+def library_from_dict(payload: Dict[str, Any]) -> CellLibrary:
+    """Rebuild a library from :func:`library_to_dict` output."""
+    if payload.get("format") != "repro-cell-library":
+        raise NetlistError("not a repro cell-library payload")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise NetlistError(
+            f"unsupported library format version {payload.get('version')}"
+        )
+    library = CellLibrary(payload["name"])
+    for entry in payload["cells"]:
+        library.add(_cell_from_dict(entry))
+    return library
+
+
+def _cell_from_dict(entry: Dict[str, Any]) -> CellType:
+    terminals = tuple(
+        TerminalDef(
+            name=t["name"],
+            direction=TerminalDirection(t["direction"]),
+            offset=int(t["offset"]),
+            fanin_pf=float(t["fanin_pf"]),
+        )
+        for t in entry["terminals"]
+    )
+    intrinsic = {}
+    for arc, value in entry.get("intrinsic_ps", {}).items():
+        if "->" not in arc:
+            raise NetlistError(f"bad arc key {arc!r}")
+        ti, _, to = arc.partition("->")
+        intrinsic[(ti, to)] = float(value)
+    return CellType(
+        name=entry["name"],
+        width=int(entry["width"]),
+        terminals=terminals,
+        intrinsic_ps=intrinsic,
+        fanin_factor_ps_per_pf={
+            k: float(v)
+            for k, v in entry.get("fanin_factor_ps_per_pf", {}).items()
+        },
+        unit_cap_delay_ps_per_pf={
+            k: float(v)
+            for k, v in entry.get(
+                "unit_cap_delay_ps_per_pf", {}
+            ).items()
+        },
+        is_sequential=bool(entry.get("sequential", False)),
+        is_feed=bool(entry.get("feed", False)),
+    )
+
+
+def write_library(library: CellLibrary, path: PathLike) -> None:
+    """Write a library JSON file."""
+    Path(path).write_text(
+        json.dumps(library_to_dict(library), indent=2, sort_keys=True)
+    )
+
+
+def read_library(path: PathLike) -> CellLibrary:
+    """Read a library JSON file."""
+    return library_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,32 @@
+"""Row-based standard-cell layout: placement, feedthrough slots,
+feed-cell insertion (Section 4.3), floorplan geometry."""
+
+from .anneal import AnnealConfig, AnnealResult, anneal_placement
+from .placement import Placement, PlacedCell
+from .feedthrough import (
+    FeedthroughAssignment,
+    FeedthroughPlanner,
+    RowSlots,
+    SlotRequest,
+)
+from .feedcell import FeedCellInserter, InsertionReport
+from .placer import PlacerConfig, place_circuit
+from .floorplan import Floorplan, assign_external_pins
+
+__all__ = [
+    "AnnealConfig",
+    "AnnealResult",
+    "FeedCellInserter",
+    "anneal_placement",
+    "FeedthroughAssignment",
+    "FeedthroughPlanner",
+    "Floorplan",
+    "InsertionReport",
+    "PlacedCell",
+    "Placement",
+    "PlacerConfig",
+    "RowSlots",
+    "SlotRequest",
+    "assign_external_pins",
+    "place_circuit",
+]

@@ -1,0 +1,143 @@
+"""Chip floorplan geometry and external-pin assignment.
+
+Area in the paper's Table 2 is the final chip area after channel routing:
+core width × (rows + channels) height.  The channel heights depend on the
+per-channel track counts delivered by the channel router; before channel
+routing, the global router's density estimate ``C_M(c)`` serves as the
+track count for area *estimation*.
+
+External pin assignment ("xpin assign", line 01 of Fig. 2) places each
+boundary pin at the median column of its net's cell terminals, resolving
+column collisions by nudging outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import PlacementError
+from ..netlist.circuit import Circuit, ExternalPin, PinSide, Terminal
+from ..tech import Technology
+from .placement import Placement
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Physical chip dimensions derived from a placement and per-channel
+    track counts."""
+
+    width_um: float
+    height_um: float
+    channel_tracks: Mapping[int, int]
+
+    @property
+    def area_mm2(self) -> float:
+        return (self.width_um / 1000.0) * (self.height_um / 1000.0)
+
+    @staticmethod
+    def from_placement(
+        placement: Placement,
+        channel_tracks: Mapping[int, int],
+        technology: Technology = Technology(),
+    ) -> "Floorplan":
+        """Compute chip dimensions.
+
+        ``channel_tracks`` maps channel index (0..n_rows) to track count;
+        missing channels count as zero tracks (base height only).
+        """
+        width_um = technology.columns_to_um(placement.width_columns)
+        height_um = placement.n_rows * technology.row_height_um
+        for channel in range(placement.n_channels):
+            tracks = channel_tracks.get(channel, 0)
+            height_um += technology.channel_height_um(tracks)
+        return Floorplan(width_um, height_um, dict(channel_tracks))
+
+
+def row_base_y_um(
+    placement: Placement,
+    channel_tracks: Mapping[int, int],
+    technology: Technology = Technology(),
+) -> List[float]:
+    """Bottom y coordinate of every row, given channel track counts.
+
+    Channel ``c`` (below row ``c``) contributes its physical height; rows
+    contribute ``row_height_um``.  Missing channels count as zero-track
+    (base height only).
+    """
+    ys: List[float] = []
+    y = 0.0
+    for row in range(placement.n_rows):
+        y += technology.channel_height_um(channel_tracks.get(row, 0))
+        ys.append(y)
+        y += technology.row_height_um
+    return ys
+
+
+def chip_height_um(
+    placement: Placement,
+    channel_tracks: Mapping[int, int],
+    technology: Technology = Technology(),
+) -> float:
+    """Total chip height including the topmost channel."""
+    ys = row_base_y_um(placement, channel_tracks, technology)
+    top = ys[-1] + technology.row_height_um if ys else 0.0
+    return top + technology.channel_height_um(
+        channel_tracks.get(placement.n_rows, 0)
+    )
+
+
+def assign_external_pins(
+    circuit: Circuit, placement: Placement
+) -> Dict[str, int]:
+    """Assign a boundary column to every unassigned external pin.
+
+    Each pin lands at the median column of its net's cell terminals
+    (falling back to mid-chip for pin-only nets), then collisions on the
+    same side are resolved by shifting to the nearest free column.
+
+    Returns ``pin name -> column`` for all external pins (including ones
+    that already had a column).
+    """
+    width = max(1, placement.width_columns)
+    taken: Dict[PinSide, set] = {PinSide.BOTTOM: set(), PinSide.TOP: set()}
+    result: Dict[str, int] = {}
+
+    for pin in circuit.external_pins:
+        if pin.column is not None:
+            taken[pin.side].add(pin.column)
+            result[pin.name] = pin.column
+
+    for pin in circuit.external_pins:
+        if pin.column is not None:
+            continue
+        ideal = _ideal_column(pin, placement, width)
+        column = _nearest_free(ideal, width, taken[pin.side])
+        pin.column = column
+        taken[pin.side].add(column)
+        result[pin.name] = column
+    return result
+
+
+def _ideal_column(
+    pin: ExternalPin, placement: Placement, width: int
+) -> int:
+    if pin.net is None:
+        return width // 2
+    columns = sorted(
+        placement.terminal_column(p)
+        for p in pin.net.pins
+        if isinstance(p, Terminal)
+    )
+    if not columns:
+        return width // 2
+    return columns[len(columns) // 2]
+
+
+def _nearest_free(ideal: int, width: int, taken: set) -> int:
+    ideal = max(0, min(width - 1, ideal))
+    for delta in range(width):
+        for candidate in (ideal - delta, ideal + delta):
+            if 0 <= candidate < width and candidate not in taken:
+                return candidate
+    raise PlacementError("no free boundary column for external pin")

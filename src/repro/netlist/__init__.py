@@ -1,0 +1,26 @@
+"""Netlist modelling: cell library, circuit/cells/nets, validation."""
+
+from .cell_library import (
+    CellLibrary,
+    CellType,
+    TerminalDef,
+    TerminalDirection,
+    standard_ecl_library,
+)
+from .circuit import Cell, Circuit, ExternalPin, Net, PinSide, Terminal
+from .validate import validate_circuit
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "CellType",
+    "Circuit",
+    "ExternalPin",
+    "Net",
+    "PinSide",
+    "Terminal",
+    "TerminalDef",
+    "TerminalDirection",
+    "standard_ecl_library",
+    "validate_circuit",
+]

@@ -1,0 +1,333 @@
+"""Cell library with the paper's delay parameters.
+
+The capacitance delay model of Section 2.1 characterizes every cell type by
+
+* ``T0(t_i, t_o)`` — the intrinsic delay from input ``t_i`` to output ``t_o``
+  (picoseconds),
+* ``Fin(t)`` — the input capacitance presented by terminal ``t`` (pF),
+* ``Tf(t_o)`` — the fan-in delay factor of output ``t_o`` (ps/pF), applied to
+  the summed ``Fin`` of the driven terminals, and
+* ``Td(t_o)`` — the unit (wiring) capacitance delay of output ``t_o``
+  (ps/pF), applied to the net's wiring capacitance ``CL(n)``.
+
+A :class:`CellType` bundles those together with the physical footprint
+(width in grid columns and terminal column offsets).  Bipolar standard cells
+have **no built-in feedthrough space** (Section 4.3), so ordinary cell types
+report ``feedthrough_slots() == ()``; only the dedicated feed cell offers a
+slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..errors import NetlistError
+
+
+class TerminalDirection(enum.Enum):
+    """Signal direction of a cell terminal."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class TerminalDef:
+    """Definition of one terminal of a :class:`CellType`.
+
+    Attributes:
+        name: terminal name, unique within the cell type.
+        direction: input or output.
+        offset: column offset of the terminal inside the cell footprint.
+        fanin_pf: ``Fin(t)`` — input capacitance in pF (0.0 for outputs).
+    """
+
+    name: str
+    direction: TerminalDirection
+    offset: int
+    fanin_pf: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise NetlistError(f"terminal {self.name}: negative offset")
+        if self.fanin_pf < 0.0:
+            raise NetlistError(f"terminal {self.name}: negative Fin")
+        if self.direction is TerminalDirection.OUTPUT and self.fanin_pf:
+            raise NetlistError(
+                f"terminal {self.name}: outputs must have Fin == 0"
+            )
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A standard-cell type: footprint, terminals and delay parameters.
+
+    ``intrinsic_ps`` maps ``(input_name, output_name)`` pairs to ``T0``.
+    A pair that is absent means there is no timing arc between the two
+    terminals (e.g. D→Q of a flip-flop, which starts a new path instead).
+    ``fanin_factor_ps_per_pf`` and ``unit_cap_delay_ps_per_pf`` map output
+    names to ``Tf`` and ``Td``.
+    """
+
+    name: str
+    width: int
+    terminals: Tuple[TerminalDef, ...]
+    intrinsic_ps: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    fanin_factor_ps_per_pf: Mapping[str, float] = field(default_factory=dict)
+    unit_cap_delay_ps_per_pf: Mapping[str, float] = field(default_factory=dict)
+    is_sequential: bool = False
+    is_feed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise NetlistError(f"cell type {self.name}: width must be > 0")
+        names = [t.name for t in self.terminals]
+        if len(set(names)) != len(names):
+            raise NetlistError(f"cell type {self.name}: duplicate terminals")
+        by_name = {t.name: t for t in self.terminals}
+        for t in self.terminals:
+            if t.offset >= self.width:
+                raise NetlistError(
+                    f"cell type {self.name}: terminal {t.name} offset "
+                    f"{t.offset} outside width {self.width}"
+                )
+        for (ti, to), t0 in self.intrinsic_ps.items():
+            if t0 < 0.0:
+                raise NetlistError(f"{self.name}: negative T0 for {ti}->{to}")
+            if ti not in by_name or to not in by_name:
+                raise NetlistError(
+                    f"{self.name}: arc {ti}->{to} references unknown terminal"
+                )
+            if by_name[ti].direction is not TerminalDirection.INPUT:
+                raise NetlistError(f"{self.name}: arc source {ti} not input")
+            if by_name[to].direction is not TerminalDirection.OUTPUT:
+                raise NetlistError(f"{self.name}: arc sink {to} not output")
+        for mapping, label in (
+            (self.fanin_factor_ps_per_pf, "Tf"),
+            (self.unit_cap_delay_ps_per_pf, "Td"),
+        ):
+            for out_name, value in mapping.items():
+                if out_name not in by_name:
+                    raise NetlistError(
+                        f"{self.name}: {label} for unknown output {out_name}"
+                    )
+                if value < 0.0:
+                    raise NetlistError(f"{self.name}: negative {label}")
+
+    # ------------------------------------------------------------------
+    def terminal(self, name: str) -> TerminalDef:
+        """Look up a terminal definition by name."""
+        for t in self.terminals:
+            if t.name == name:
+                return t
+        raise NetlistError(f"cell type {self.name} has no terminal {name!r}")
+
+    def inputs(self) -> Iterator[TerminalDef]:
+        """Iterate input terminal definitions."""
+        return (
+            t for t in self.terminals
+            if t.direction is TerminalDirection.INPUT
+        )
+
+    def outputs(self) -> Iterator[TerminalDef]:
+        """Iterate output terminal definitions."""
+        return (
+            t for t in self.terminals
+            if t.direction is TerminalDirection.OUTPUT
+        )
+
+    def intrinsic_delay(self, input_name: str, output_name: str) -> float:
+        """``T0(t_i, t_o)``; raises if the arc does not exist."""
+        try:
+            return self.intrinsic_ps[(input_name, output_name)]
+        except KeyError:
+            raise NetlistError(
+                f"cell type {self.name}: no arc {input_name}->{output_name}"
+            ) from None
+
+    def has_arc(self, input_name: str, output_name: str) -> bool:
+        """Whether a timing arc ``input -> output`` exists."""
+        return (input_name, output_name) in self.intrinsic_ps
+
+    def fanin_factor(self, output_name: str) -> float:
+        """``Tf(t_o)`` in ps/pF."""
+        try:
+            return self.fanin_factor_ps_per_pf[output_name]
+        except KeyError:
+            raise NetlistError(
+                f"cell type {self.name}: no Tf for output {output_name}"
+            ) from None
+
+    def unit_cap_delay(self, output_name: str) -> float:
+        """``Td(t_o)`` in ps/pF."""
+        try:
+            return self.unit_cap_delay_ps_per_pf[output_name]
+        except KeyError:
+            raise NetlistError(
+                f"cell type {self.name}: no Td for output {output_name}"
+            ) from None
+
+
+class CellLibrary:
+    """A named collection of :class:`CellType` objects."""
+
+    def __init__(self, name: str, cell_types: Optional[Dict[str, CellType]] = None):
+        self.name = name
+        self._types: Dict[str, CellType] = dict(cell_types or {})
+
+    def add(self, cell_type: CellType) -> None:
+        """Register a cell type; duplicate names are an error."""
+        if cell_type.name in self._types:
+            raise NetlistError(f"duplicate cell type {cell_type.name!r}")
+        self._types[cell_type.name] = cell_type
+
+    def get(self, name: str) -> CellType:
+        """Look up a cell type by name."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise NetlistError(
+                f"library {self.name!r} has no cell type {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[CellType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    @property
+    def feed_cell(self) -> CellType:
+        """The library's feed cell (used by Section 4.3 insertion)."""
+        for ct in self._types.values():
+            if ct.is_feed:
+                return ct
+        raise NetlistError(f"library {self.name!r} defines no feed cell")
+
+
+# ----------------------------------------------------------------------
+# Reference ECL-flavoured library
+# ----------------------------------------------------------------------
+
+def _in(name: str, offset: int, fanin_pf: float = 0.010) -> TerminalDef:
+    return TerminalDef(name, TerminalDirection.INPUT, offset, fanin_pf)
+
+
+def _out(name: str, offset: int) -> TerminalDef:
+    return TerminalDef(name, TerminalDirection.OUTPUT, offset)
+
+
+def _combinational(
+    name: str,
+    width: int,
+    n_inputs: int,
+    t0_ps: float,
+    tf: float = 55.0,
+    td: float = 140.0,
+    fanin_pf: float = 0.010,
+) -> CellType:
+    """Build an n-input single-output combinational ECL gate."""
+    inputs = [_in(f"I{k}", 1 + k, fanin_pf) for k in range(n_inputs)]
+    output = _out("O", width - 1)
+    arcs = {(f"I{k}", "O"): t0_ps + 2.0 * k for k in range(n_inputs)}
+    return CellType(
+        name=name,
+        width=width,
+        terminals=tuple(inputs) + (output,),
+        intrinsic_ps=arcs,
+        fanin_factor_ps_per_pf={"O": tf},
+        unit_cap_delay_ps_per_pf={"O": td},
+    )
+
+
+def standard_ecl_library() -> CellLibrary:
+    """A small, self-consistent ECL-style bipolar standard-cell library.
+
+    The absolute picosecond values are representative of early-90s bipolar
+    gates (intrinsic delays of a few tens of ps, load sensitivities of
+    ~50-150 ps/pF); they set the scale of the reproduced tables, not their
+    shape.
+    """
+    lib = CellLibrary("ecl-std")
+    lib.add(_combinational("BUF1", 4, 1, 28.0, tf=45.0, td=110.0))
+    lib.add(_combinational("INV1", 4, 1, 25.0, tf=50.0, td=120.0))
+    lib.add(_combinational("NOR2", 5, 2, 32.0))
+    lib.add(_combinational("NOR3", 6, 3, 38.0))
+    lib.add(_combinational("OR2", 5, 2, 34.0))
+    lib.add(_combinational("AND2", 5, 2, 36.0))
+    lib.add(_combinational("XOR2", 7, 2, 48.0, tf=70.0, td=160.0))
+    lib.add(
+        CellType(
+            name="MUX2",
+            width=8,
+            terminals=(
+                _in("I0", 1),
+                _in("I1", 3),
+                _in("S", 5),
+                _out("O", 7),
+            ),
+            intrinsic_ps={
+                ("I0", "O"): 40.0,
+                ("I1", "O"): 42.0,
+                ("S", "O"): 52.0,
+            },
+            fanin_factor_ps_per_pf={"O": 60.0},
+            unit_cap_delay_ps_per_pf={"O": 150.0},
+        )
+    )
+    # Master-slave D flip-flop: CLK->Q is the launch arc; D is a path
+    # endpoint (no D->Q arc), matching Fig. 1 of the paper.
+    lib.add(
+        CellType(
+            name="DFF",
+            width=10,
+            terminals=(
+                _in("D", 1, 0.012),
+                _in("CLK", 4, 0.015),
+                _out("Q", 9),
+            ),
+            intrinsic_ps={("CLK", "Q"): 65.0},
+            fanin_factor_ps_per_pf={"Q": 55.0},
+            unit_cap_delay_ps_per_pf={"Q": 140.0},
+            is_sequential=True,
+        )
+    )
+    # Differential output buffer: used to drive differential-pair nets
+    # (Section 4.1).  OP/ON carry the true/complement phases.
+    lib.add(
+        CellType(
+            name="DIFFBUF",
+            width=8,
+            terminals=(
+                _in("I0", 1, 0.012),
+                _out("OP", 5),
+                _out("ON", 7),
+            ),
+            intrinsic_ps={("I0", "OP"): 30.0, ("I0", "ON"): 30.0},
+            fanin_factor_ps_per_pf={"OP": 40.0, "ON": 40.0},
+            unit_cap_delay_ps_per_pf={"OP": 100.0, "ON": 100.0},
+        )
+    )
+    # High-drive clock buffer: its output net is typically a multi-pitch
+    # net (Section 4.2).
+    lib.add(
+        CellType(
+            name="CLKBUF",
+            width=12,
+            terminals=(_in("I0", 1, 0.020), _out("O", 11)),
+            intrinsic_ps={("I0", "O"): 35.0},
+            fanin_factor_ps_per_pf={"O": 25.0},
+            unit_cap_delay_ps_per_pf={"O": 60.0},
+        )
+    )
+    # The feed cell: one column wide, no logic, exists solely to donate a
+    # feedthrough slot (Section 4.3).
+    lib.add(
+        CellType(name="FEED", width=1, terminals=(), is_feed=True)
+    )
+    return lib

@@ -1,0 +1,70 @@
+"""Structural validation of a :class:`~repro.netlist.circuit.Circuit`.
+
+The router assumes a well-formed netlist; :func:`validate_circuit` checks
+that assumption up front and reports *all* problems at once so a generator
+bug surfaces as one readable error instead of a deep stack trace later.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+from .circuit import Circuit, Terminal
+
+
+def collect_issues(circuit: Circuit) -> List[str]:
+    """Return a list of human-readable structural problems (empty if OK)."""
+    issues: List[str] = []
+
+    for net in circuit.nets:
+        if len(net.pins) < 2:
+            issues.append(f"net {net.name}: fewer than 2 pins")
+            continue
+        try:
+            net.source
+        except NetlistError as exc:
+            issues.append(str(exc))
+            continue
+        if not net.sinks:
+            issues.append(f"net {net.name}: no sinks")
+
+    for cell in circuit.cells:
+        for term in cell.terminals:
+            if term.net is None:
+                issues.append(f"dangling terminal {term.full_name}")
+
+    for pin in circuit.external_pins:
+        if pin.net is None:
+            issues.append(f"dangling external pin {pin.name}")
+
+    for net_a, net_b in circuit.differential_pairs():
+        if net_a.fanout != net_b.fanout:
+            issues.append(
+                f"differential pair {net_a.name}/{net_b.name}: "
+                "fanout mismatch"
+            )
+        src_a, src_b = net_a.source, net_b.source
+        if isinstance(src_a, Terminal) != isinstance(src_b, Terminal):
+            issues.append(
+                f"differential pair {net_a.name}/{net_b.name}: "
+                "one driven by a cell, the other by an external pin"
+            )
+        elif isinstance(src_a, Terminal) and isinstance(src_b, Terminal):
+            if src_a.cell is not src_b.cell:
+                issues.append(
+                    f"differential pair {net_a.name}/{net_b.name}: "
+                    "sources on different cells"
+                )
+
+    return issues
+
+
+def validate_circuit(circuit: Circuit) -> None:
+    """Raise :class:`NetlistError` listing every structural problem."""
+    issues = collect_issues(circuit)
+    if issues:
+        listing = "\n  - ".join(issues)
+        raise NetlistError(
+            f"circuit {circuit.name!r} is invalid:\n  - {listing}"
+        )

@@ -1,0 +1,25 @@
+"""Routing graphs ``G_r(n)`` (Fig. 3): construction, bridge/deletability
+classification, and tentative-tree wire-length estimation."""
+
+from .graph import (
+    DeletionResult,
+    EdgeKind,
+    RouteEdge,
+    RouteVertex,
+    RoutingGraph,
+    VertexKind,
+)
+from .build import build_routing_graph
+from .tentative_tree import TentativeTree, compute_tentative_tree
+
+__all__ = [
+    "DeletionResult",
+    "EdgeKind",
+    "RouteEdge",
+    "RouteVertex",
+    "RoutingGraph",
+    "TentativeTree",
+    "VertexKind",
+    "build_routing_graph",
+    "compute_tentative_tree",
+]

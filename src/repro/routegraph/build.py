@@ -1,0 +1,163 @@
+"""Construction of ``G_r(n)`` from a placement and feedthrough assignment.
+
+For one net the construction is (Fig. 3):
+
+1. every pin contributes a *terminal vertex*, plus one *position vertex*
+   per channel it can be reached from — a cell terminal is reachable from
+   the channels below and above its row, an external pin only from its
+   boundary channel — joined by zero-weight *correspondence* edges;
+2. every assigned feedthrough (one per crossed row, Section 3.1)
+   contributes position vertices in the two channels it joins, linked by a
+   *branch* edge one row-height long;
+3. within each channel, the net's position vertices are sorted by column
+   and consecutive pairs are linked by *trunk* edges.
+
+The redundancy (and hence the router's freedom) comes from terminals being
+reachable from two channels: closed loops appear wherever two pins share a
+pair of channels, and the edge-deletion process picks which channel each
+horizontal span actually uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import RoutingGraphError
+from ..geometry import Interval
+from ..layout.feedthrough import AssignedSlot
+from ..layout.placement import Placement
+from ..netlist.circuit import Net, NetPin
+from ..tech import Technology
+from .graph import EdgeKind, RouteEdge, RouteVertex, RoutingGraph, VertexKind
+
+
+def build_routing_graph(
+    net: Net,
+    placement: Placement,
+    slots: Mapping[int, AssignedSlot],
+    technology: Technology = Technology(),
+) -> RoutingGraph:
+    """Build ``G_r(n)`` for ``net``.
+
+    Args:
+        net: the net to route (≥ 2 pins).
+        placement: resolved cell placement.
+        slots: ``row -> AssignedSlot`` granted to this net by the
+            feedthrough assignment stage.
+        technology: geometry used for edge lengths.
+    """
+    if len(net.pins) < 2:
+        raise RoutingGraphError(f"net {net.name} has fewer than 2 pins")
+
+    span_lo, span_hi = _channel_span(net, placement)
+    vertices: List[RouteVertex] = []
+    edges: List[RouteEdge] = []
+    position_index: Dict[Tuple[int, int], int] = {}
+    by_channel: Dict[int, List[int]] = {}
+
+    def position_vertex(channel: int, x: int) -> int:
+        key = (channel, x)
+        if key in position_index:
+            return position_index[key]
+        index = len(vertices)
+        vertices.append(
+            RouteVertex(index, VertexKind.POSITION, channel, x)
+        )
+        position_index[key] = index
+        by_channel.setdefault(channel, []).append(index)
+        return index
+
+    def add_edge(
+        kind: EdgeKind,
+        u: int,
+        v: int,
+        channel: int,
+        interval: Interval,
+        length_um: float,
+    ) -> None:
+        edges.append(
+            RouteEdge(len(edges), kind, u, v, channel, interval, length_um)
+        )
+
+    # --- terminal vertices and correspondence edges -------------------
+    terminal_vertices: List[int] = []
+    driver_vertex: Optional[int] = None
+    source = net.source
+    for pin in net.pins:
+        column, _ = placement.pin_position(pin)
+        access = [
+            c
+            for c in placement.pin_adjacent_channels(pin)
+            if span_lo <= c <= span_hi
+        ]
+        if not access:
+            raise RoutingGraphError(
+                f"net {net.name}: pin {pin.full_name} outside channel span"
+            )
+        anchor = min(access)
+        term_index = len(vertices)
+        vertices.append(
+            RouteVertex(term_index, VertexKind.TERMINAL, anchor, column, pin)
+        )
+        terminal_vertices.append(term_index)
+        if pin is source:
+            driver_vertex = term_index
+        for channel in access:
+            pos = position_vertex(channel, column)
+            add_edge(
+                EdgeKind.CORRESPONDENCE,
+                term_index,
+                pos,
+                channel,
+                Interval(column, column),
+                0.0,
+            )
+
+    if driver_vertex is None:
+        raise RoutingGraphError(f"net {net.name}: driver pin not found")
+
+    # --- feedthrough branch edges --------------------------------------
+    for row, slot in sorted(slots.items()):
+        if slot.net.name != net.name:
+            raise RoutingGraphError(
+                f"net {net.name}: slot for {slot.net.name} passed in"
+            )
+        below = position_vertex(row, slot.x)
+        above = position_vertex(row + 1, slot.x)
+        add_edge(
+            EdgeKind.BRANCH,
+            below,
+            above,
+            row,
+            Interval(slot.x, slot.x),
+            technology.row_height_um,
+        )
+
+    # --- trunk edges ----------------------------------------------------
+    for channel, members in sorted(by_channel.items()):
+        ordered = sorted(members, key=lambda i: vertices[i].x)
+        for left, right in zip(ordered, ordered[1:]):
+            x_lo, x_hi = vertices[left].x, vertices[right].x
+            if x_lo == x_hi:
+                continue  # same point — already one shared vertex
+            add_edge(
+                EdgeKind.TRUNK,
+                left,
+                right,
+                channel,
+                Interval(x_lo, x_hi),
+                technology.columns_to_um(x_hi - x_lo),
+            )
+
+    return RoutingGraph(net, vertices, edges, terminal_vertices, driver_vertex)
+
+
+def _channel_span(net: Net, placement: Placement) -> Tuple[int, int]:
+    """Channels the net may legally use: hull of its pins' access."""
+    lows: List[int] = []
+    highs: List[int] = []
+    for pin in net.pins:
+        access = placement.pin_adjacent_channels(pin)
+        lows.append(min(access))
+        highs.append(max(access))
+    return min(lows), max(highs)

@@ -1,0 +1,386 @@
+"""The routing graph ``G_r(n) = (V_r, E_r)`` of one net (Fig. 3).
+
+Vertices are either *terminal* vertices (one per circuit terminal or
+external pin of the net) or *position* vertices (physical points: terminal
+access points in a channel, feedthrough endpoints, external terminal
+positions).  Edges are
+
+* **correspondence** edges (zero weight) tying a terminal vertex to each of
+  its physical positions,
+* **trunk** edges — horizontal runs in a channel (these are what the
+  channel-density profiles count), and
+* **branch** edges — vertical row crossings through a feedthrough.
+
+The edge-deletion router repeatedly removes edges while the graph still
+connects every terminal.  Following the paper's terminology, an edge whose
+removal would disconnect some terminals is a **bridge**; only *non-bridge*
+edges may be deleted.  We classify with respect to terminal connectivity:
+
+* ``essential`` (paper's bridge) — removal separates two terminals; such
+  edges are guaranteed to appear in the final wiring and feed the lower
+  density profile ``d_m``;
+* ``deletable`` — removal keeps all terminals connected.  Removing one may
+  strand a terminal-free fragment, which is pruned immediately (a stranded
+  fragment can never serve the net again, so it must stop occupying the
+  density profile).
+
+The fixed point of deletion — every alive edge essential — is a tree
+spanning all terminal vertices whose leaves are terminals: exactly the
+paper's required interconnection wiring.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import RoutingGraphError
+from ..geometry import Interval
+from ..netlist.circuit import Net, NetPin
+
+
+class VertexKind(enum.Enum):
+    TERMINAL = "terminal"
+    POSITION = "position"
+
+
+class EdgeKind(enum.Enum):
+    CORRESPONDENCE = "correspondence"
+    TRUNK = "trunk"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class RouteVertex:
+    """A vertex of ``G_r(n)``.
+
+    Terminal vertices carry the netlist ``pin``; position vertices carry
+    their physical ``(channel, x)`` point.  For uniform geometry queries a
+    terminal vertex also records the channel/column of its pin's location.
+    """
+
+    index: int
+    kind: VertexKind
+    channel: int
+    x: int
+    pin: Optional[NetPin] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.kind is VertexKind.TERMINAL
+
+
+@dataclass(frozen=True)
+class RouteEdge:
+    """An edge of ``G_r(n)``.
+
+    ``channel`` and ``interval`` define where the edge shows up in the
+    channel-density profiles; for branch and correspondence edges the
+    interval is the single column they occupy (density conditions only
+    ever prefer trunks, but ties among non-trunks still need *some*
+    geometry to compare).
+    """
+
+    index: int
+    kind: EdgeKind
+    u: int
+    v: int
+    channel: int
+    interval: Interval
+    length_um: float
+
+    def other(self, vertex: int) -> int:
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise RoutingGraphError(
+            f"vertex {vertex} is not an endpoint of edge {self.index}"
+        )
+
+    @property
+    def is_trunk(self) -> bool:
+        return self.kind is EdgeKind.TRUNK
+
+
+@dataclass
+class DeletionResult:
+    """Outcome of one edge deletion.
+
+    ``removed`` lists every edge that left the graph (the deleted edge
+    plus any pruned stranded fragment); ``newly_essential`` lists edges
+    that were deletable before and are now guaranteed wiring.  The router
+    uses both to update the density profiles incrementally.
+    """
+
+    deleted: int
+    removed: List[int] = field(default_factory=list)
+    newly_essential: List[int] = field(default_factory=list)
+
+
+class RoutingGraph:
+    """Mutable routing graph of one net with live classification."""
+
+    def __init__(
+        self,
+        net: Net,
+        vertices: Sequence[RouteVertex],
+        edges: Sequence[RouteEdge],
+        terminal_vertices: Sequence[int],
+        driver_vertex: int,
+    ):
+        self.net = net
+        self.vertices: List[RouteVertex] = list(vertices)
+        self.edges: List[RouteEdge] = list(edges)
+        self.terminal_vertices: List[int] = list(terminal_vertices)
+        self.driver_vertex = driver_vertex
+        self.alive: List[bool] = [True] * len(self.edges)
+        self.essential: List[bool] = [False] * len(self.edges)
+        self.vertex_alive: List[bool] = [True] * len(self.vertices)
+        self._adjacency: List[List[int]] = [[] for _ in self.vertices]
+        for edge in self.edges:
+            self._adjacency[edge.u].append(edge.index)
+            self._adjacency[edge.v].append(edge.index)
+        self._check_initial()
+        # Initial cleanup: prune fragments that can never serve the net
+        # (e.g. the unused side of a single-point channel) and classify.
+        self.reclassify()
+
+    # ------------------------------------------------------------------
+    def _check_initial(self) -> None:
+        if self.driver_vertex not in self.terminal_vertices:
+            raise RoutingGraphError(
+                f"net {self.net.name}: driver vertex is not a terminal"
+            )
+        term_set = set(self.terminal_vertices)
+        if len(term_set) != len(self.terminal_vertices):
+            raise RoutingGraphError(
+                f"net {self.net.name}: duplicate terminal vertices"
+            )
+        for t in self.terminal_vertices:
+            if not self.vertices[t].is_terminal:
+                raise RoutingGraphError(
+                    f"net {self.net.name}: vertex {t} is not terminal-kind"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def neighbours(self, vertex: int) -> Iterator[Tuple[RouteEdge, int]]:
+        """Alive ``(edge, other-vertex)`` pairs around ``vertex``."""
+        for edge_id in self._adjacency[vertex]:
+            if self.alive[edge_id]:
+                edge = self.edges[edge_id]
+                yield edge, edge.other(vertex)
+
+    def alive_edges(self) -> Iterator[RouteEdge]:
+        return (e for e in self.edges if self.alive[e.index])
+
+    def deletable_edges(self) -> List[int]:
+        """Edge ids that may legally be deleted (the net's share of the
+        paper's ``N_b``)."""
+        return [
+            e.index
+            for e in self.edges
+            if self.alive[e.index] and not self.essential[e.index]
+        ]
+
+    def degree(self, vertex: int) -> int:
+        return sum(1 for _ in self.neighbours(vertex))
+
+    @property
+    def is_tree(self) -> bool:
+        """Whether deletion has converged (every alive edge essential)."""
+        return all(
+            self.essential[e.index] for e in self.alive_edges()
+        )
+
+    def terminals_connected(self) -> bool:
+        """Whether every terminal vertex is reachable from the driver."""
+        seen = self._reach(self.driver_vertex)
+        return all(t in seen for t in self.terminal_vertices)
+
+    def _reach(self, start: int, skip_edge: Optional[int] = None) -> Set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for edge_id in self._adjacency[v]:
+                if not self.alive[edge_id] or edge_id == skip_edge:
+                    continue
+                w = self.edges[edge_id].other(v)
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def delete(self, edge_id: int) -> DeletionResult:
+        """Delete a deletable edge; prune strands; reclassify.
+
+        Raises :class:`RoutingGraphError` for dead or essential edges.
+        """
+        if not (0 <= edge_id < len(self.edges)):
+            raise RoutingGraphError(f"edge {edge_id} out of range")
+        if not self.alive[edge_id]:
+            raise RoutingGraphError(f"edge {edge_id} is already deleted")
+        if self.essential[edge_id]:
+            raise RoutingGraphError(
+                f"edge {edge_id} is essential and cannot be deleted"
+            )
+        self.alive[edge_id] = False
+        result = DeletionResult(deleted=edge_id, removed=[edge_id])
+        pruned, newly_essential = self.reclassify()
+        result.removed.extend(pruned)
+        result.newly_essential.extend(newly_essential)
+        return result
+
+    def reclassify(self) -> Tuple[List[int], List[int]]:
+        """Prune unreachable fragments and refresh essential flags.
+
+        Returns ``(pruned_edge_ids, newly_essential_edge_ids)``.
+        """
+        pruned = self._prune_unreachable()
+        pruned.extend(self._prune_terminal_free_subtrees())
+        newly_essential = self._refresh_essential()
+        return pruned, newly_essential
+
+    def _prune_unreachable(self) -> List[int]:
+        """Kill vertices/edges not reachable from the driver."""
+        seen = self._reach(self.driver_vertex)
+        for t in self.terminal_vertices:
+            if t not in seen:
+                raise RoutingGraphError(
+                    f"net {self.net.name}: terminal vertex {t} disconnected"
+                )
+        removed: List[int] = []
+        for vertex in range(len(self.vertices)):
+            if self.vertex_alive[vertex] and vertex not in seen:
+                self.vertex_alive[vertex] = False
+                for edge_id in self._adjacency[vertex]:
+                    if self.alive[edge_id]:
+                        self.alive[edge_id] = False
+                        removed.append(edge_id)
+        return removed
+
+    def _prune_terminal_free_subtrees(self) -> List[int]:
+        """Iteratively strip pendant non-terminal vertices.
+
+        A degree-1 position vertex can never help connect two terminals;
+        removing it (and recursing) erases terminal-free bridge-hanging
+        subtrees so they stop polluting the density profiles.
+        """
+        removed: List[int] = []
+        terminal_set = set(self.terminal_vertices)
+        degrees = [0] * len(self.vertices)
+        for edge in self.alive_edges():
+            degrees[edge.u] += 1
+            degrees[edge.v] += 1
+        queue = [
+            v
+            for v in range(len(self.vertices))
+            if self.vertex_alive[v]
+            and degrees[v] <= 1
+            and v not in terminal_set
+        ]
+        while queue:
+            v = queue.pop()
+            if not self.vertex_alive[v]:
+                continue
+            self.vertex_alive[v] = False
+            for edge_id in self._adjacency[v]:
+                if not self.alive[edge_id]:
+                    continue
+                self.alive[edge_id] = False
+                removed.append(edge_id)
+                w = self.edges[edge_id].other(v)
+                degrees[w] -= 1
+                if degrees[w] <= 1 and w not in terminal_set:
+                    queue.append(w)
+            degrees[v] = 0
+        return removed
+
+    def _refresh_essential(self) -> List[int]:
+        """Recompute essential flags via an iterative bridge search.
+
+        An alive edge is essential iff it is a graph bridge whose removal
+        separates two terminals.  After pruning, every bridge has at least
+        one terminal on each side *unless* it hangs a terminal-free cycle
+        component — rare, but handled by counting terminals per subtree.
+        """
+        n = len(self.vertices)
+        disc = [-1] * n
+        low = [0] * n
+        tcount = [0] * n
+        terminal_set = set(self.terminal_vertices)
+        bridges: List[int] = []
+        timer = 0
+
+        start = self.driver_vertex
+        # Iterative Tarjan with explicit stack; parent edge tracked to
+        # ignore the tree edge when computing low-links.
+        stack: List[Tuple[int, int, Iterator[int]]] = [
+            (start, -1, iter(self._adjacency[start]))
+        ]
+        disc[start] = low[start] = timer
+        timer += 1
+        tcount[start] = 1 if start in terminal_set else 0
+
+        while stack:
+            vertex, parent_edge, it = stack[-1]
+            advanced = False
+            for edge_id in it:
+                if not self.alive[edge_id] or edge_id == parent_edge:
+                    continue
+                w = self.edges[edge_id].other(vertex)
+                if disc[w] == -1:
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    tcount[w] = 1 if w in terminal_set else 0
+                    stack.append((w, edge_id, iter(self._adjacency[w])))
+                    advanced = True
+                    break
+                low[vertex] = min(low[vertex], disc[w])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                pvertex, _, _ = stack[-1]
+                low[pvertex] = min(low[pvertex], low[vertex])
+                tcount[pvertex] += tcount[vertex]
+                if low[vertex] > disc[pvertex] and tcount[vertex] > 0:
+                    bridges.append(parent_edge)
+
+        newly_essential: List[int] = []
+        bridge_set = set(bridges)
+        for edge in self.edges:
+            if not self.alive[edge.index]:
+                self.essential[edge.index] = False
+                continue
+            now = edge.index in bridge_set
+            if now and not self.essential[edge.index]:
+                newly_essential.append(edge.index)
+            self.essential[edge.index] = now
+        return newly_essential
+
+    # ------------------------------------------------------------------
+    def final_wiring(self) -> List[RouteEdge]:
+        """The alive edges once deletion has converged (checked)."""
+        if not self.is_tree:
+            raise RoutingGraphError(
+                f"net {self.net.name}: routing graph is not a tree yet"
+            )
+        return list(self.alive_edges())
+
+    def total_alive_length_um(self) -> float:
+        return sum(e.length_um for e in self.alive_edges())
+
+    def __repr__(self) -> str:
+        alive = sum(1 for _ in self.alive_edges())
+        return (
+            f"RoutingGraph({self.net.name}: {len(self.vertices)} vertices, "
+            f"{alive}/{len(self.edges)} edges alive)"
+        )

@@ -1,0 +1,85 @@
+"""Technology description for a bipolar (ECL) standard-cell process.
+
+All horizontal coordinates in the library are integer *grid columns*: one
+column per wiring pitch.  The :class:`Technology` object converts between the
+grid and physical micrometres, and carries the capacitance coefficient used
+by the paper's capacitance delay model (Section 2.1).
+
+The paper targets 10-Gbit/s bipolar LSIs whose wires are deliberately wide
+(to bound current density), which is why wire *resistance* is neglected and
+a pure capacitance model is adequate.  The default numbers below are chosen
+to be representative of early-90s bipolar standard-cell processes; they only
+set the absolute scale of the reported picoseconds and mm², not the shape of
+any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Physical parameters of the target process.
+
+    Attributes:
+        pitch_um: horizontal wiring pitch (one grid column), in µm.
+        row_height_um: height of a standard-cell row, in µm.  Crossing a row
+            through a feedthrough (or through a cell terminal) adds this much
+            vertical wire.
+        track_pitch_um: vertical distance between adjacent channel tracks.
+        channel_base_um: fixed channel overhead (power rails, spacing) added
+            to every channel regardless of its track count.
+        cap_per_um_pf: wiring capacitance per micrometre of wire, in pF.
+        terminal_stub_um: wire length charged for attaching a terminal to the
+            channel (the zero-weight correspondence edge still has a small
+            physical stub in the final layout).
+    """
+
+    pitch_um: float = 4.0
+    row_height_um: float = 64.0
+    track_pitch_um: float = 4.0
+    channel_base_um: float = 8.0
+    cap_per_um_pf: float = 0.00120
+    terminal_stub_um: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pitch_um",
+            "row_height_um",
+            "track_pitch_um",
+            "cap_per_um_pf",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(f"Technology.{name} must be positive")
+        if self.channel_base_um < 0.0 or self.terminal_stub_um < 0.0:
+            raise ConfigError(
+                "Technology.channel_base_um and terminal_stub_um must be >= 0"
+            )
+
+    # ------------------------------------------------------------------
+    # Unit conversions
+    # ------------------------------------------------------------------
+    def columns_to_um(self, columns: float) -> float:
+        """Convert a horizontal span in grid columns to micrometres."""
+        return columns * self.pitch_um
+
+    def um_to_columns(self, um: float) -> float:
+        """Convert micrometres to (fractional) grid columns."""
+        return um / self.pitch_um
+
+    def wire_cap_pf(self, length_um: float) -> float:
+        """Wiring capacitance of ``length_um`` µm of single-pitch wire."""
+        return length_um * self.cap_per_um_pf
+
+    def channel_height_um(self, tracks: int) -> float:
+        """Physical height of a channel that uses ``tracks`` tracks."""
+        if tracks < 0:
+            raise ConfigError("track count must be >= 0")
+        return self.channel_base_um + tracks * self.track_pitch_um
+
+
+DEFAULT_TECHNOLOGY = Technology()
+"""A shared default :class:`Technology` instance."""

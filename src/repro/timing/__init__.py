@@ -1,0 +1,41 @@
+"""Timing modelling: delay model (Eq. 1), global delay graph ``G_D``,
+path constraints ``(S_P, T_P, δ_P)`` with their subgraphs ``G_d(P)``, and
+static timing analysis."""
+
+from .delay_model import (
+    CapacitanceDelayModel,
+    DelayModel,
+    ElmoreDelayModel,
+    propagation_delay_ps,
+)
+from .delay_graph import (
+    DelayArc,
+    DelayVertex,
+    GlobalDelayGraph,
+    VertexKind,
+)
+from .constraint import ConstraintGraph, PathConstraint, build_constraint_graph
+from .sta import (
+    ConstraintTiming,
+    StaticTimingAnalyzer,
+    WireCaps,
+    net_criticality_order,
+)
+
+__all__ = [
+    "CapacitanceDelayModel",
+    "ConstraintGraph",
+    "ConstraintTiming",
+    "DelayArc",
+    "DelayModel",
+    "DelayVertex",
+    "ElmoreDelayModel",
+    "GlobalDelayGraph",
+    "PathConstraint",
+    "StaticTimingAnalyzer",
+    "VertexKind",
+    "WireCaps",
+    "build_constraint_graph",
+    "net_criticality_order",
+    "propagation_delay_ps",
+]

@@ -1,0 +1,187 @@
+"""Delay models: the paper's capacitance model and an Elmore/RC extension.
+
+Section 2.1 of the paper adopts a pure *capacitance* delay model: bipolar
+wires are wide (for current density), so wire resistance is negligible and
+the stage delay from input ``t_i`` through output ``t_o`` of a cell is
+
+    T_pd = T0(t_i, t_o) + (Σ_{t∈F} Fin(t)) · Tf(t_o) + CL(n) · Td(t_o)   (1)
+
+where ``F`` is the set of fan-out terminals and ``CL(n)`` the wiring
+capacitance of the driven net, obtained from its (estimated or routed)
+length.  The paper notes that "the extension to the RC delay model does not
+have any detrimental influence on the proposed algorithm"; the
+:class:`ElmoreDelayModel` here realizes that extension for routed trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Protocol, Tuple
+
+from ..errors import TimingError
+from ..tech import Technology
+
+
+def propagation_delay_ps(
+    t0_ps: float,
+    sink_fanin_pf: float,
+    tf_ps_per_pf: float,
+    wire_cap_pf: float,
+    td_ps_per_pf: float,
+) -> float:
+    """Equation (1) of the paper, in picoseconds."""
+    return t0_ps + sink_fanin_pf * tf_ps_per_pf + wire_cap_pf * td_ps_per_pf
+
+
+class DelayModel(Protocol):
+    """Anything that converts a net's wire geometry into load capacitance.
+
+    The router only needs ``wire_cap_pf``; the Elmore model adds a richer
+    per-sink interface on top.
+    """
+
+    def wire_cap_pf(self, length_um: float, width_pitches: int = 1) -> float:
+        """Capacitance of ``length_um`` µm of ``width_pitches``-wide wire."""
+        ...
+
+
+@dataclass(frozen=True)
+class CapacitanceDelayModel:
+    """The paper's model: capacitance proportional to wire length.
+
+    A w-pitch wire (Section 4.2) presents roughly ``w`` times the plate
+    capacitance of a single-pitch wire; ``width_cap_exponent`` lets tests
+    explore sub-linear scaling (fringe-dominated regimes) without changing
+    the router.
+    """
+
+    technology: Technology
+    width_cap_exponent: float = 1.0
+
+    def wire_cap_pf(self, length_um: float, width_pitches: int = 1) -> float:
+        if length_um < 0.0:
+            raise TimingError("negative wire length")
+        if width_pitches < 1:
+            raise TimingError("width_pitches must be >= 1")
+        scale = float(width_pitches) ** self.width_cap_exponent
+        return self.technology.wire_cap_pf(length_um) * scale
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One segment of a routed tree, for the Elmore extension.
+
+    ``parent`` indexes the upstream segment (-1 for the root segment at the
+    driver).  ``sink_index`` marks which net sink (if any) hangs at the far
+    end of the segment.
+    """
+
+    parent: int
+    length_um: float
+    width_pitches: int = 1
+    sink_index: int = -1
+
+
+@dataclass(frozen=True)
+class ElmoreDelayModel:
+    """First-order RC (Elmore) delay on a routed tree.
+
+    The paper argues the routing flow is delay-model agnostic; this class
+    provides the RC variant so the claim is testable.  Wire resistance per
+    µm falls as ``1/w`` for a w-pitch wire while capacitance grows as
+    ``w`` — exactly why the paper's clock nets use multi-pitch wires.
+    """
+
+    technology: Technology
+    res_per_um_ohm: float = 0.02
+    driver_res_ohm: float = 150.0
+
+    def wire_cap_pf(self, length_um: float, width_pitches: int = 1) -> float:
+        if length_um < 0.0:
+            raise TimingError("negative wire length")
+        return self.technology.wire_cap_pf(length_um) * width_pitches
+
+    def elmore_delays_ps(
+        self,
+        segments: Iterable[WireSegment],
+        sink_caps_pf: Mapping[int, float],
+    ) -> Dict[int, float]:
+        """Elmore delay from the driver to each sink, in ps.
+
+        Args:
+            segments: tree segments in any parent-before-child order is not
+                required; the method orders them internally.
+            sink_caps_pf: ``sink_index -> pin capacitance`` for loads at
+                segment endpoints.
+
+        Returns:
+            ``sink_index -> delay_ps``.
+        """
+        segs: List[WireSegment] = list(segments)
+        n = len(segs)
+        for i, seg in enumerate(segs):
+            if seg.parent >= i and seg.parent != -1 and seg.parent >= n:
+                raise TimingError(f"segment {i}: bad parent {seg.parent}")
+            if seg.length_um < 0.0:
+                raise TimingError(f"segment {i}: negative length")
+        children: Dict[int, List[int]] = {i: [] for i in range(-1, n)}
+        for i, seg in enumerate(segs):
+            if not (-1 <= seg.parent < n):
+                raise TimingError(f"segment {i}: parent out of range")
+            children[seg.parent].append(i)
+
+        # Downstream capacitance per segment (post-order accumulation).
+        cap_down = [0.0] * n
+        order = _post_order(children, n)
+        for i in order:
+            seg = segs[i]
+            cap = self.wire_cap_pf(seg.length_um, seg.width_pitches)
+            if seg.sink_index >= 0:
+                cap += sink_caps_pf.get(seg.sink_index, 0.0)
+            for ch in children[i]:
+                cap += cap_down[ch]
+            cap_down[i] = cap
+
+        total_cap = sum(cap_down[ch] for ch in children[-1])
+        # Delay accumulates top-down: driver resistance charges everything,
+        # each segment's resistance charges half its own cap plus all of its
+        # downstream cap.
+        delays: Dict[int, float] = {}
+        arrival = [0.0] * n
+
+        def descend(parent: int, t_parent: float) -> None:
+            for i in children[parent]:
+                seg = segs[i]
+                r = (self.res_per_um_ohm / seg.width_pitches) * seg.length_um
+                own_cap = self.wire_cap_pf(seg.length_um, seg.width_pitches)
+                t = t_parent + r * (cap_down[i] - 0.5 * own_cap)
+                arrival[i] = t
+                if seg.sink_index >= 0:
+                    delays[seg.sink_index] = t
+                descend(i, t)
+
+        t_root = self.driver_res_ohm * total_cap
+        # Ohms × pF = nanoseconds/1000... (Ω·pF = ps exactly).
+        descend(-1, t_root)
+        return delays
+
+
+def _post_order(children: Dict[int, List[int]], n: int) -> List[int]:
+    """Children-before-parent ordering of segments 0..n-1."""
+    order: List[int] = []
+    visited = [False] * n
+    stack: List[Tuple[int, bool]] = [(c, False) for c in children[-1]]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if visited[node]:
+            raise TimingError("segment tree contains a cycle")
+        visited[node] = True
+        stack.append((node, True))
+        for ch in children[node]:
+            stack.append((ch, False))
+    if len(order) != n:
+        raise TimingError("segment tree is disconnected")
+    return order

@@ -1,0 +1,160 @@
+"""Tests for the analysis extensions: skew, rendering, Steiner estimator."""
+
+import pytest
+
+from conftest import route_chain
+from repro import RouterConfig, Technology
+from repro.analysis.render import render_placement, render_routed_chip
+from repro.analysis.skew import clock_skew_table, net_skew
+from repro.errors import ConfigError, TimingError
+from repro.timing.delay_model import ElmoreDelayModel
+
+
+class TestSkew:
+    def _routed_clock(self, library, pitch):
+        from test_multipitch import clock_circuit
+        from repro import GlobalRouter
+
+        circuit, placement, clock = clock_circuit(library, pitch=pitch)
+        router = GlobalRouter(circuit, placement, [], RouterConfig())
+        result = router.route()
+        return circuit, result, clock
+
+    def test_skew_report_fields(self, library):
+        circuit, result, clock = self._routed_clock(library, 2)
+        report = net_skew(circuit, result, "clknet")
+        assert report.width_pitches == 2
+        assert len(report.sink_delays_ps) == 2  # two FF CLK pins
+        assert report.skew_ps >= 0.0
+        assert report.max_delay_ps >= report.min_delay_ps
+        assert "skew" in report.summary()
+
+    def test_wider_clock_no_more_skew(self, library):
+        """Section 4.2's motivation: widening cuts resistive skew."""
+        _, result1, _ = self._routed_clock(library, 1)
+        circuit3, result3, _ = self._routed_clock(library, 3)
+        model = ElmoreDelayModel(Technology())
+        skew1 = net_skew(
+            *(self._routed_clock(library, 1)[:2]), "clknet", model
+        ).skew_ps
+        skew3 = net_skew(circuit3, result3, "clknet", model).skew_ps
+        assert skew3 <= skew1 + 1e-9
+
+    def test_unknown_net_raises(self, library):
+        circuit, result, _ = self._routed_clock(library, 1)
+        with pytest.raises(TimingError):
+            net_skew(circuit, result, "nonexistent")
+
+    def test_clock_skew_table_sorted(self, library):
+        circuit, placement, constraints, result = route_chain(library)
+        reports = clock_skew_table(circuit, result, min_fanout=1)
+        skews = [r.skew_ps for r in reports]
+        assert skews == sorted(skews, reverse=True)
+
+
+class TestRender:
+    def test_placement_render_dimensions(self, chain_placed):
+        circuit, placement = chain_placed
+        art = render_placement(placement)
+        lines = art.splitlines()
+        assert len(lines) == placement.n_rows
+        assert all("|" in line for line in lines)
+        assert "#" in art
+
+    def test_feed_cells_distinct(self, chain_placed):
+        _, placement = chain_placed
+        art = render_placement(placement)
+        assert ":" in art  # chain_placed uses feed_fraction > 0
+
+    def test_routed_chip_render(self, library):
+        circuit, placement, constraints, result = route_chain(library)
+        art = render_routed_chip(placement, result)
+        lines = art.splitlines()
+        # channels + rows interleaved
+        assert len(lines) == placement.n_channels + placement.n_rows
+        assert lines[0].startswith("ch")
+        assert any(
+            ch.isdigit() for ch in art if ch not in "0123456789"
+            or True
+        )
+
+    def test_density_chars(self):
+        from repro.analysis.render import _density_char
+
+        assert _density_char(0) == " "
+        assert _density_char(5) == "5"
+        assert _density_char(42) == "*"
+
+
+class TestSteinerEstimator:
+    def test_config_accepts_steiner(self):
+        config = RouterConfig(tree_estimator="steiner")
+        assert config.tree_estimator == "steiner"
+
+    def test_bad_estimator_rejected(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(tree_estimator="magic")
+
+    def test_steiner_not_longer_than_spt(self, library):
+        from conftest import build_fanout_circuit
+        from repro import PlacerConfig, place_circuit
+        from repro.routegraph import build_routing_graph
+        from repro.routegraph.tentative_tree import (
+            compute_steiner_tree,
+            compute_tentative_tree,
+        )
+
+        circuit = build_fanout_circuit(library, fanout=5)
+        placement = place_circuit(
+            circuit, PlacerConfig(n_rows=2, feed_fraction=0.5)
+        )
+        from repro.layout.floorplan import assign_external_pins
+
+        assign_external_pins(circuit, placement)
+        net = circuit.net("big")
+        graph = build_routing_graph(net, placement, {})
+        spt = compute_tentative_tree(graph)
+        steiner = compute_steiner_tree(graph)
+        assert steiner is not None
+        assert steiner.total_length_um <= spt.total_length_um + 1e-9
+        assert set(steiner.terminal_path_um) == set(
+            graph.terminal_vertices
+        )
+
+    def test_steiner_skip_essential_returns_none(self, library):
+        from conftest import build_chain_circuit
+        from repro import PlacerConfig, place_circuit
+        from repro.layout.floorplan import assign_external_pins
+        from repro.routegraph import build_routing_graph
+        from repro.routegraph.tentative_tree import compute_steiner_tree
+
+        circuit = build_chain_circuit(library, n_gates=2)
+        placement = place_circuit(
+            circuit, PlacerConfig(n_rows=1, feed_fraction=0.0)
+        )
+        assign_external_pins(circuit, placement)
+        net = circuit.net("n0")
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        for edge in graph.final_wiring():
+            assert compute_steiner_tree(
+                graph, skip_edge=edge.index
+            ) is None
+
+    def test_router_runs_with_steiner_estimator(self, library):
+        from conftest import build_chain_circuit
+        from repro import GlobalRouter, PlacerConfig, place_circuit
+
+        circuit = build_chain_circuit(library)
+        placement = place_circuit(
+            circuit, PlacerConfig(n_rows=3, feed_fraction=0.4)
+        )
+        router = GlobalRouter(
+            circuit, placement, [],
+            RouterConfig(tree_estimator="steiner"),
+        )
+        result = router.route()
+        assert result.routes
+        for state in router.states.values():
+            assert state.graph.is_tree

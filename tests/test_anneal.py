@@ -1,0 +1,184 @@
+"""Tests for placement swaps and simulated annealing."""
+
+import pytest
+
+from repro.bench.circuits import CircuitSpec, generate_circuit
+from repro.errors import ConfigError, PlacementError
+from repro.layout.anneal import (
+    AnnealConfig,
+    anneal_placement,
+)
+from repro.layout.placer import PlacerConfig, place_circuit
+from repro.netlist import Circuit
+from repro.tech import Technology
+
+
+class TestSwapCells:
+    @pytest.fixture()
+    def placed(self, library):
+        circuit = Circuit("s", library)
+        a = circuit.add_cell("a", "NOR2")   # width 5
+        b = circuit.add_cell("b", "OR2")    # width 5
+        c = circuit.add_cell("c", "INV1")   # width 4
+        d = circuit.add_cell("d", "DFF")    # width 10
+        from repro.layout.placement import Placement
+
+        return circuit, Placement(circuit, [[a, c], [b, d]])
+
+    def test_equal_width_swap_across_rows(self, placed):
+        circuit, placement = placed
+        a, b = circuit.cell("a"), circuit.cell("b")
+        loc_a = placement.location_of(a)
+        loc_b = placement.location_of(b)
+        placement.swap_cells(a, b)
+        assert placement.location_of(a) == loc_b
+        assert placement.location_of(b) == loc_a
+        # Other cells untouched.
+        assert placement.location_of(circuit.cell("c")) == (0, 5)
+
+    def test_adjacent_swap_different_widths(self, placed):
+        circuit, placement = placed
+        a, c = circuit.cell("a"), circuit.cell("c")
+        placement.swap_cells(a, c)
+        # c (width 4) now first, a at x=4.
+        assert placement.location_of(c) == (0, 0)
+        assert placement.location_of(a) == (0, 4)
+        # Consistency with a full refresh.
+        expected = [
+            (cell.name, placement.location_of(cell))
+            for row in placement.rows for cell in row
+        ]
+        placement.refresh()
+        assert expected == [
+            (cell.name, placement.location_of(cell))
+            for row in placement.rows for cell in row
+        ]
+
+    def test_illegal_swap_rejected(self, placed):
+        circuit, placement = placed
+        c, d = circuit.cell("c"), circuit.cell("d")
+        with pytest.raises(PlacementError):
+            placement.swap_cells(c, d)  # widths differ, not adjacent
+
+    def test_self_swap_noop(self, placed):
+        circuit, placement = placed
+        a = circuit.cell("a")
+        loc = placement.location_of(a)
+        placement.swap_cells(a, a)
+        assert placement.location_of(a) == loc
+
+    def test_swap_is_involution(self, placed):
+        circuit, placement = placed
+        a, c = circuit.cell("a"), circuit.cell("c")
+        before = [
+            placement.location_of(cell)
+            for row in placement.rows for cell in row
+        ]
+        placement.swap_cells(a, c)
+        placement.swap_cells(a, c)
+        after = [
+            placement.location_of(cell)
+            for row in placement.rows for cell in row
+        ]
+        assert before == after
+
+
+class TestAnnealConfig:
+    def test_bad_cooling(self):
+        with pytest.raises(ConfigError):
+            AnnealConfig(cooling=1.0)
+
+    def test_bad_final_temp(self):
+        with pytest.raises(ConfigError):
+            AnnealConfig(final_temperature_um=0.0)
+
+
+class TestAnnealPlacement:
+    def _case(self, seed=3):
+        spec = CircuitSpec(
+            "an", n_gates=40, n_flops=6, n_inputs=5, n_outputs=4,
+            n_diff_pairs=0, seed=seed,
+        )
+        circuit = generate_circuit(spec)
+        placement = place_circuit(
+            circuit, PlacerConfig(n_rows=4, feed_fraction=0.1)
+        )
+        return circuit, placement
+
+    def test_never_worse(self, library):
+        circuit, placement = self._case()
+        result = anneal_placement(
+            circuit, placement, AnnealConfig(seed=1, max_moves=3000)
+        )
+        assert result.final_cost_um <= result.initial_cost_um + 1e-6
+        assert result.moves_tried > 0
+
+    def test_scrambled_placement_improves(self, library):
+        import random
+
+        circuit, placement = self._case()
+        # Scramble with random legal swaps to create slack for recovery.
+        rng = random.Random(9)
+        cells = [cell for row in placement.rows for cell in row]
+        by_width = {}
+        for cell in cells:
+            by_width.setdefault(cell.width, []).append(cell)
+        for _ in range(200):
+            peers = by_width[rng.choice(cells).width]
+            if len(peers) >= 2:
+                a, b = rng.sample(peers, 2)
+                placement.swap_cells(a, b)
+        result = anneal_placement(
+            circuit, placement, AnnealConfig(seed=2, max_moves=8000)
+        )
+        assert result.improvement_pct > 5.0
+
+    def test_cost_cache_consistency(self, library):
+        """After annealing, cached total equals a from-scratch recount."""
+        from repro.layout.anneal import _Objective
+
+        circuit, placement = self._case()
+        anneal_placement(
+            circuit, placement, AnnealConfig(seed=4, max_moves=2000)
+        )
+        fresh = _Objective(circuit, placement, Technology())
+        rebuilt = _Objective(circuit, placement, Technology())
+        assert fresh.total == pytest.approx(rebuilt.total)
+
+    def test_placement_stays_legal(self, library):
+        circuit, placement = self._case()
+        anneal_placement(
+            circuit, placement, AnnealConfig(seed=5, max_moves=2000)
+        )
+        placement.validate()
+        # Packing invariant: recomputing coordinates changes nothing.
+        snapshot = {
+            cell.name: placement.location_of(cell)
+            for row in placement.rows for cell in row
+        }
+        placement.refresh()
+        assert snapshot == {
+            cell.name: placement.location_of(cell)
+            for row in placement.rows for cell in row
+        }
+
+    def test_deterministic(self, library):
+        results = []
+        for _ in range(2):
+            circuit, placement = self._case()
+            result = anneal_placement(
+                circuit, placement, AnnealConfig(seed=7, max_moves=2000)
+            )
+            results.append(
+                (result.final_cost_um, result.moves_accepted)
+            )
+        assert results[0] == results[1]
+
+    def test_tiny_placement_noop(self, library):
+        circuit = Circuit("tiny", library)
+        a = circuit.add_cell("a", "INV1")
+        from repro.layout.placement import Placement
+
+        placement = Placement(circuit, [[a]])
+        result = anneal_placement(circuit, placement)
+        assert result.moves_tried == 0

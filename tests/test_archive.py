@@ -1,0 +1,112 @@
+"""Tests for the suite archive (repro.bench.archive) and config copies."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.archive import (
+    compare_archives,
+    load_archive_dict,
+    run_suite_archive,
+    write_archive,
+)
+from repro.bench.circuits import CircuitSpec, DatasetSpec
+from repro.core import RouterConfig
+from repro.errors import ConfigError
+from repro.layout.placer import FeedStyle
+
+TINY = DatasetSpec(
+    "ARC",
+    CircuitSpec(
+        "A", n_gates=24, n_flops=4, n_inputs=4, n_outputs=3,
+        n_diff_pairs=0, seed=1,
+    ),
+    FeedStyle.EVEN,
+    n_constraints=3,
+)
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return run_suite_archive([TINY], suite_name="tiny")
+
+
+class TestArchive:
+    def test_tables_present(self, archive):
+        tables = archive.tables()
+        assert "Table 1" in tables["table1"]
+        assert "WITH constraints" in tables["table2"]
+        assert "lower bound" in tables["table3"]
+
+    def test_improvements(self, archive):
+        improvements = archive.improvements_pct()
+        assert set(improvements) == {"ARC"}
+
+    def test_round_trip(self, archive, tmp_path):
+        path = tmp_path / "archive.json"
+        write_archive(archive, path)
+        loaded = load_archive_dict(path)
+        assert loaded["suite"] == "tiny"
+        assert loaded["records"][0]["with_constraints"]["dataset"] == "ARC"
+        json.dumps(loaded)
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_archive_dict(path)
+
+    def test_compare_identical_is_quiet(self, archive):
+        payload = archive.to_dict()
+        assert compare_archives(payload, payload) == []
+
+    def test_compare_flags_changes(self, archive):
+        old = archive.to_dict()
+        new = json.loads(json.dumps(old))
+        new["records"][0]["with_constraints"]["delay_ps"] *= 1.10
+        notes = compare_archives(old, new)
+        assert any("delay_ps" in note for note in notes)
+
+    def test_compare_flags_new_dataset(self, archive):
+        old = archive.to_dict()
+        new = json.loads(json.dumps(old))
+        extra = json.loads(
+            json.dumps(new["records"][0])
+        )
+        extra["with_constraints"]["dataset"] = "NEW"
+        new["records"].append(extra)
+        notes = compare_archives(old, new)
+        assert any("new dataset" in note for note in notes)
+
+
+class TestRouterConfigCopies:
+    def test_unconstrained_preserves_all_other_fields(self):
+        custom = RouterConfig(
+            max_recovery_passes=7,
+            area_nets_per_pass=3,
+            width_cap_exponent=0.7,
+            pad_tf_ps_per_pf=55.0,
+            tree_estimator="steiner",
+            assignment_order="fanout",
+            revert_worse_reroutes=False,
+        )
+        baseline = custom.unconstrained()
+        assert not baseline.timing_driven
+        assert not baseline.run_violation_recovery
+        assert not baseline.run_delay_improvement
+        assert baseline.max_recovery_passes == 7
+        assert baseline.area_nets_per_pass == 3
+        assert baseline.width_cap_exponent == 0.7
+        assert baseline.pad_tf_ps_per_pf == 55.0
+        assert baseline.tree_estimator == "steiner"
+        assert baseline.assignment_order == "fanout"
+        assert baseline.revert_worse_reroutes is False
+
+    def test_bad_assignment_order_rejected(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(assignment_order="alphabetical")
+
+    def test_negative_pass_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(max_area_passes=-1)

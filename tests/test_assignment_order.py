@@ -1,0 +1,92 @@
+"""Tests for the configurable feedthrough-assignment net ordering."""
+
+import pytest
+
+from conftest import build_chain_circuit
+from repro import (
+    GlobalDelayGraph,
+    GlobalRouter,
+    PathConstraint,
+    PlacerConfig,
+    RouterConfig,
+    place_circuit,
+)
+
+
+def make_router(library, order=None, timing=True):
+    circuit = build_chain_circuit(library, n_gates=8)
+    placement = place_circuit(
+        circuit, PlacerConfig(n_rows=3, feed_fraction=0.4)
+    )
+    gd = GlobalDelayGraph.build(circuit)
+    constraint = PathConstraint(
+        "p0",
+        frozenset([gd.vertex_of(circuit.external_pin("din")).index]),
+        frozenset([gd.vertex_of(circuit.cell("ff").terminal("D")).index]),
+        2000.0,
+    )
+    config = RouterConfig(assignment_order=order, timing_driven=timing)
+    router = GlobalRouter(circuit, placement, [constraint], config)
+    return circuit, router
+
+
+class TestAssignmentOrder:
+    def _order(self, router):
+        router._build_timing()
+        from repro.layout.floorplan import assign_external_pins
+
+        assign_external_pins(router.circuit, router.placement)
+        return [n.name for n in router._assignment_order()]
+
+    def test_default_timing_uses_slack(self, library):
+        circuit, router = make_router(library, order=None, timing=True)
+        names = self._order(router)
+        # Constrained nets (the din -> ff chain) precede the clock net.
+        assert names.index("n0") < names.index("n_clk")
+
+    def test_default_unconstrained_uses_netlist(self, library):
+        circuit, router = make_router(library, order=None, timing=False)
+        names = self._order(router)
+        assert names == [n.name for n in circuit.routable_nets]
+
+    def test_netlist_order_explicit(self, library):
+        circuit, router = make_router(library, order="netlist")
+        names = self._order(router)
+        assert names == [n.name for n in circuit.routable_nets]
+
+    def test_fanout_order_descending(self, library):
+        circuit, router = make_router(library, order="fanout")
+        names = self._order(router)
+        fanouts = [circuit.net(name).fanout for name in names]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+    def test_hpwl_order_descending(self, library):
+        circuit, router = make_router(library, order="hpwl")
+        names = self._order(router)
+
+        def span(name):
+            net = circuit.net(name)
+            columns = [
+                router.placement.pin_position(p)[0] for p in net.pins
+            ]
+            return max(columns) - min(columns)
+
+        spans = [span(name) for name in names]
+        assert spans == sorted(spans, reverse=True)
+
+    @pytest.mark.parametrize("order", ["slack", "netlist", "fanout", "hpwl"])
+    def test_every_order_routes_completely(self, library, order):
+        circuit, router = make_router(library, order=order)
+        result = router.route()
+        assert set(result.routes) == {
+            n.name for n in circuit.routable_nets
+        }
+
+    def test_orders_cover_same_net_set(self, library):
+        names_by_order = {}
+        for order in ("slack", "netlist", "fanout", "hpwl"):
+            circuit, router = make_router(library, order=order)
+            names_by_order[order] = set(self._order(router))
+        reference = names_by_order["slack"]
+        for names in names_by_order.values():
+            assert names == reference

@@ -1,0 +1,184 @@
+"""Tests for repro.netlist.cell_library."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cell_library import (
+    CellLibrary,
+    CellType,
+    TerminalDef,
+    TerminalDirection,
+    standard_ecl_library,
+)
+
+
+def make_inv(name="INV", width=4):
+    return CellType(
+        name=name,
+        width=width,
+        terminals=(
+            TerminalDef("A", TerminalDirection.INPUT, 1, 0.01),
+            TerminalDef("Y", TerminalDirection.OUTPUT, 3),
+        ),
+        intrinsic_ps={("A", "Y"): 20.0},
+        fanin_factor_ps_per_pf={"Y": 50.0},
+        unit_cap_delay_ps_per_pf={"Y": 100.0},
+    )
+
+
+class TestTerminalDef:
+    def test_negative_offset_raises(self):
+        with pytest.raises(NetlistError):
+            TerminalDef("A", TerminalDirection.INPUT, -1)
+
+    def test_negative_fanin_raises(self):
+        with pytest.raises(NetlistError):
+            TerminalDef("A", TerminalDirection.INPUT, 0, -0.1)
+
+    def test_output_with_fanin_raises(self):
+        with pytest.raises(NetlistError):
+            TerminalDef("Y", TerminalDirection.OUTPUT, 0, 0.1)
+
+
+class TestCellType:
+    def test_lookup_and_arcs(self):
+        inv = make_inv()
+        assert inv.terminal("A").direction is TerminalDirection.INPUT
+        assert inv.has_arc("A", "Y")
+        assert not inv.has_arc("Y", "A")
+        assert inv.intrinsic_delay("A", "Y") == 20.0
+        assert inv.fanin_factor("Y") == 50.0
+        assert inv.unit_cap_delay("Y") == 100.0
+
+    def test_unknown_terminal_raises(self):
+        with pytest.raises(NetlistError):
+            make_inv().terminal("Z")
+
+    def test_missing_arc_raises(self):
+        inv = make_inv()
+        with pytest.raises(NetlistError):
+            inv.intrinsic_delay("A", "Z")
+
+    def test_zero_width_raises(self):
+        with pytest.raises(NetlistError):
+            CellType("BAD", 0, ())
+
+    def test_duplicate_terminal_raises(self):
+        with pytest.raises(NetlistError):
+            CellType(
+                "BAD",
+                2,
+                (
+                    TerminalDef("A", TerminalDirection.INPUT, 0),
+                    TerminalDef("A", TerminalDirection.INPUT, 1),
+                ),
+            )
+
+    def test_offset_outside_width_raises(self):
+        with pytest.raises(NetlistError):
+            CellType(
+                "BAD",
+                2,
+                (TerminalDef("A", TerminalDirection.INPUT, 2),),
+            )
+
+    def test_arc_to_unknown_terminal_raises(self):
+        with pytest.raises(NetlistError):
+            CellType(
+                "BAD",
+                4,
+                (TerminalDef("A", TerminalDirection.INPUT, 0),),
+                intrinsic_ps={("A", "Y"): 1.0},
+            )
+
+    def test_arc_from_output_raises(self):
+        with pytest.raises(NetlistError):
+            CellType(
+                "BAD",
+                4,
+                (
+                    TerminalDef("A", TerminalDirection.INPUT, 0),
+                    TerminalDef("Y", TerminalDirection.OUTPUT, 1),
+                ),
+                intrinsic_ps={("Y", "Y"): 1.0},
+            )
+
+    def test_negative_t0_raises(self):
+        with pytest.raises(NetlistError):
+            CellType(
+                "BAD",
+                4,
+                (
+                    TerminalDef("A", TerminalDirection.INPUT, 0),
+                    TerminalDef("Y", TerminalDirection.OUTPUT, 1),
+                ),
+                intrinsic_ps={("A", "Y"): -1.0},
+            )
+
+    def test_inputs_outputs_iterators(self):
+        inv = make_inv()
+        assert [t.name for t in inv.inputs()] == ["A"]
+        assert [t.name for t in inv.outputs()] == ["Y"]
+
+
+class TestCellLibrary:
+    def test_add_and_get(self):
+        lib = CellLibrary("lib")
+        lib.add(make_inv())
+        assert "INV" in lib
+        assert lib.get("INV").name == "INV"
+        assert len(lib) == 1
+
+    def test_duplicate_add_raises(self):
+        lib = CellLibrary("lib")
+        lib.add(make_inv())
+        with pytest.raises(NetlistError):
+            lib.add(make_inv())
+
+    def test_missing_get_raises(self):
+        with pytest.raises(NetlistError):
+            CellLibrary("lib").get("X")
+
+    def test_no_feed_cell_raises(self):
+        lib = CellLibrary("lib")
+        lib.add(make_inv())
+        with pytest.raises(NetlistError):
+            lib.feed_cell
+
+
+class TestStandardLibrary:
+    def test_expected_cells_present(self):
+        lib = standard_ecl_library()
+        for name in (
+            "INV1", "BUF1", "NOR2", "NOR3", "OR2", "AND2", "XOR2",
+            "MUX2", "DFF", "DIFFBUF", "CLKBUF", "FEED",
+        ):
+            assert name in lib
+
+    def test_feed_cell_properties(self):
+        feed = standard_ecl_library().feed_cell
+        assert feed.is_feed
+        assert feed.width == 1
+        assert feed.terminals == ()
+
+    def test_dff_is_sequential_without_d_to_q_arc(self):
+        dff = standard_ecl_library().get("DFF")
+        assert dff.is_sequential
+        assert dff.has_arc("CLK", "Q")
+        assert not dff.has_arc("D", "Q")
+
+    def test_diffbuf_has_two_outputs(self):
+        diff = standard_ecl_library().get("DIFFBUF")
+        assert sorted(t.name for t in diff.outputs()) == ["ON", "OP"]
+        assert diff.has_arc("I0", "OP")
+        assert diff.has_arc("I0", "ON")
+
+    def test_every_gate_has_consistent_delay_tables(self):
+        lib = standard_ecl_library()
+        for ct in lib:
+            for out in ct.outputs():
+                assert ct.fanin_factor(out.name) >= 0
+                assert ct.unit_cap_delay(out.name) >= 0
+            for (ti, to) in ct.intrinsic_ps:
+                assert ct.terminal(ti).direction is TerminalDirection.INPUT
+                assert ct.terminal(to).direction is TerminalDirection.OUTPUT

@@ -1,0 +1,212 @@
+"""Tests for the VCG-aware left-edge channel router."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import route_chain
+from repro.channelrouter.leftedge import (
+    ChannelSegment,
+    route_channel,
+    route_channels,
+)
+from repro.geometry import Interval
+from repro.tech import Technology
+
+
+def seg(net, lo, hi, top=(), bottom=()):
+    return ChannelSegment(
+        net_name=net,
+        interval=Interval(lo, hi),
+        attach_top=list(top),
+        attach_bottom=list(bottom),
+    )
+
+
+class TestRouteChannel:
+    def test_disjoint_segments_share_track(self):
+        result = route_channel(0, [seg("a", 0, 3), seg("b", 5, 8)], {})
+        assert result.tracks == 1
+        tracks = {s.net_name: s.track for s in result.segments}
+        assert tracks["a"] == tracks["b"] == 1
+
+    def test_overlap_needs_two_tracks(self):
+        result = route_channel(0, [seg("a", 0, 5), seg("b", 3, 8)], {})
+        assert result.tracks == 2
+
+    def test_track_count_at_least_density(self):
+        segments = [seg(f"n{i}", 0, 10) for i in range(5)]
+        result = route_channel(0, segments, {})
+        assert result.tracks == 5
+
+    def test_vertical_constraint_orders_tracks(self):
+        # At column 4, 'top' enters from above and 'bot' from below:
+        # top's track must be above (smaller index).
+        top_seg = seg("top", 0, 6, top=[4])
+        bot_seg = seg("bot", 2, 8, bottom=[4])
+        result = route_channel(0, [bot_seg, top_seg], {})
+        by_net = {s.net_name: s.track for s in result.segments}
+        assert by_net["top"] < by_net["bot"]
+        assert result.constraint_breaks == 0
+
+    def test_vcg_cycle_resolved_by_dogleg(self):
+        a = seg("a", 0, 6, top=[1], bottom=[5])
+        b = seg("b", 0, 6, top=[5], bottom=[1])
+        result = route_channel(0, [a, b], {})
+        assert result.tracks >= 1
+        # With doglegs enabled the cycle is split, not ignored.
+        assert result.dogleg_splits >= 1
+        assert result.constraint_breaks == 0
+        # Every placed piece got a track and no track overlaps.
+        by_track = {}
+        for segment in result.segments:
+            assert segment.track is not None
+            by_track.setdefault(segment.track, []).append(segment)
+        for members in by_track.values():
+            members.sort(key=lambda s: s.interval.lo)
+            for left, right in zip(members, members[1:]):
+                assert left.interval.hi < right.interval.lo
+
+    def test_vcg_cycle_relaxed_without_doglegs(self):
+        a = seg("a", 0, 6, top=[1], bottom=[5])
+        b = seg("b", 0, 6, top=[5], bottom=[1])
+        result = route_channel(0, [a, b], {}, allow_doglegs=False)
+        assert result.tracks >= 1
+        assert result.constraint_breaks >= 1
+        assert result.dogleg_splits == 0
+
+    def test_dogleg_unsplittable_falls_back(self):
+        # Cycle between spans whose conflicting pins sit at the span
+        # endpoints — no internal column to split at.
+        a = seg("a", 0, 5, top=[0], bottom=[5])
+        b = seg("b", 0, 5, top=[5], bottom=[0])
+        result = route_channel(0, [a, b], {})
+        assert result.constraint_breaks >= 1
+
+    def test_dogleg_preserves_attachments(self):
+        a = seg("a", 0, 6, top=[1], bottom=[5])
+        b = seg("b", 0, 6, top=[5], bottom=[1])
+        result = route_channel(0, [a, b], {})
+        for name, tops, bottoms in (("a", {1}, {5}), ("b", {5}, {1})):
+            pieces = [
+                s for s in result.segments if s.net_name == name
+            ]
+            assert {
+                c for s in pieces for c in s.attach_top
+            } == tops
+            assert {
+                c for s in pieces for c in s.attach_bottom
+            } == bottoms
+            # Pieces of one net cover its original span contiguously.
+            covered = sorted(
+                (s.interval.lo, s.interval.hi) for s in pieces
+            )
+            assert covered[0][0] == 0 and covered[-1][1] == 6
+            for (l_lo, l_hi), (r_lo, r_hi) in zip(covered, covered[1:]):
+                assert l_hi == r_lo  # halves meet at the jog column
+
+    def test_pin_conflict_counted(self):
+        a = seg("a", 0, 3, top=[2])
+        b = seg("b", 2, 5, top=[2])
+        result = route_channel(0, [a, b], {})
+        assert result.pin_conflicts >= 1
+
+    def test_same_net_no_self_constraint(self):
+        a = seg("a", 0, 6, top=[3], bottom=[3])
+        result = route_channel(0, [a], {})
+        assert result.tracks == 1
+        assert result.constraint_breaks == 0
+
+    def test_empty_channel(self):
+        result = route_channel(0, [], {})
+        assert result.tracks == 0
+        assert result.through_columns == {}
+
+    def test_throughs_recorded(self):
+        result = route_channel(0, [], {"clk": [3, 9]})
+        assert result.through_columns == {"clk": 2}
+
+    def test_no_track_overlaps(self):
+        rng = random.Random(5)
+        segments = [
+            seg(f"n{i}", lo, lo + rng.randint(1, 8))
+            for i, lo in enumerate(rng.sample(range(30), 12))
+        ]
+        result = route_channel(0, segments, {})
+        by_track = {}
+        for segment in result.segments:
+            by_track.setdefault(segment.track, []).append(segment)
+        for members in by_track.values():
+            members.sort(key=lambda s: s.interval.lo)
+            for a, b in zip(members, members[1:]):
+                assert a.interval.hi < b.interval.lo
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 10)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_leftedge_track_count_bounds(intervals):
+    """Property: density <= tracks <= number of segments, no overlap."""
+    segments = [
+        seg(f"n{i}", lo, lo + span) for i, (lo, span) in enumerate(intervals)
+    ]
+    result = route_channel(0, segments, {})
+    max_column = max(lo + span for lo, span in intervals)
+    density = 0
+    for column in range(max_column + 1):
+        density = max(
+            density,
+            sum(
+                1
+                for lo, span in intervals
+                if lo <= column <= lo + span
+            ),
+        )
+    assert density <= result.tracks <= len(segments)
+    by_track = {}
+    for segment in result.segments:
+        assert segment.track is not None
+        by_track.setdefault(segment.track, []).append(segment)
+    for members in by_track.values():
+        members.sort(key=lambda s: s.interval.lo)
+        for a, b in zip(members, members[1:]):
+            assert a.interval.hi < b.interval.lo
+
+
+class TestRouteChannels:
+    def test_full_pipeline(self, library):
+        circuit, placement, _, result = route_chain(library)
+        channel_result = route_channels(result, placement, Technology())
+        assert set(channel_result.channels) == set(
+            range(placement.n_channels)
+        )
+        # Vertical lengths are nonnegative and only for routed nets.
+        for name, extra in channel_result.net_vertical_um.items():
+            assert name in result.routes
+            assert extra >= 0.0
+
+    def test_tracks_cover_global_density(self, library):
+        circuit, placement, _, result = route_chain(library)
+        channel_result = route_channels(result, placement, Technology())
+        for channel, tracks in channel_result.tracks_per_channel().items():
+            assert tracks >= 0
+            # The channel router cannot beat the global density estimate
+            # by more than multipitch expansion allows.
+            assert tracks >= result.channel_peak_density[channel] - 1
+
+    def test_floorplan_height_grows_with_tracks(self, library):
+        circuit, placement, _, result = route_chain(library)
+        channel_result = route_channels(result, placement, Technology())
+        fp = channel_result.floorplan(placement, Technology())
+        zero_fp = channel_result.floorplan(
+            placement, Technology()
+        )
+        assert fp.area_mm2 > 0
+        total_tracks = sum(channel_result.tracks_per_channel().values())
+        assert fp.height_um >= placement.n_rows * Technology().row_height_um

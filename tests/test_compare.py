@@ -1,0 +1,70 @@
+"""Tests for repro.analysis.compare."""
+
+import pytest
+
+from conftest import route_chain
+from repro.analysis.compare import compare_results
+
+
+@pytest.fixture()
+def two_results(library):
+    _, _, _, constrained = route_chain(library, constrained=True)
+    _, _, _, unconstrained = route_chain(library, constrained=False)
+    return constrained, unconstrained
+
+
+class TestCompareResults:
+    def test_identity_comparison(self, library):
+        _, _, _, result = route_chain(library)
+        report = compare_results(result, result, "X", "X")
+        assert report.delay_improvement_pct == pytest.approx(0.0)
+        assert report.area_change_pct == pytest.approx(0.0)
+        assert report.changed_nets() == []
+
+    def test_cross_mode_comparison(self, two_results):
+        constrained, unconstrained = two_results
+        report = compare_results(
+            unconstrained, constrained, "unconstrained", "constrained"
+        )
+        assert report.delay_a_ps == unconstrained.critical_delay_ps
+        assert report.delay_b_ps == constrained.critical_delay_ps
+        assert set(
+            d.net_name for d in report.net_deltas
+        ) == set(constrained.routes)
+
+    def test_margin_deltas(self, two_results):
+        constrained, unconstrained = two_results
+        report = compare_results(unconstrained, constrained)
+        assert set(report.margin_deltas_ps) == set(
+            constrained.constraint_margins
+        )
+        for name, delta in report.margin_deltas_ps.items():
+            assert delta == pytest.approx(
+                constrained.constraint_margins[name]
+                - unconstrained.constraint_margins[name]
+            )
+
+    def test_summary_text(self, two_results):
+        constrained, unconstrained = two_results
+        report = compare_results(
+            unconstrained, constrained, "base", "timing"
+        )
+        text = report.summary()
+        assert "base vs timing" in text
+        assert "delay" in text
+        assert "nets rerouted" in text
+
+    def test_changed_nets_sorted_by_magnitude(self, two_results):
+        constrained, unconstrained = two_results
+        report = compare_results(unconstrained, constrained)
+        deltas = [abs(d.delta_um) for d in report.changed_nets()]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_delta_pct(self):
+        from repro.analysis.compare import NetDelta
+
+        delta = NetDelta("n", 100.0, 150.0)
+        assert delta.delta_um == 50.0
+        assert delta.delta_pct == pytest.approx(50.0)
+        zero = NetDelta("z", 0.0, 10.0)
+        assert zero.delta_pct == 0.0

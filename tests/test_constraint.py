@@ -1,0 +1,115 @@
+"""Tests for repro.timing.constraint (G_d(P) extraction)."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist import Circuit, TerminalDirection
+from conftest import build_diamond_circuit as diamond_circuit
+from repro.timing import (
+    GlobalDelayGraph,
+    PathConstraint,
+    build_constraint_graph,
+)
+
+
+@pytest.fixture()
+def diamond(library):
+    circuit = diamond_circuit(library)
+    gd = GlobalDelayGraph.build(circuit)
+    return circuit, gd
+
+
+class TestPathConstraint:
+    def test_requires_nonempty_sets(self):
+        with pytest.raises(TimingError):
+            PathConstraint("p", frozenset(), frozenset([1]), 10.0)
+        with pytest.raises(TimingError):
+            PathConstraint("p", frozenset([0]), frozenset(), 10.0)
+
+    def test_requires_positive_limit(self):
+        with pytest.raises(TimingError):
+            PathConstraint("p", frozenset([0]), frozenset([1]), 0.0)
+
+
+class TestBuildConstraintGraph:
+    def test_full_closure(self, diamond):
+        circuit, gd = diamond
+        src = gd.vertex_of(circuit.external_pin("din")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        cg = build_constraint_graph(
+            gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 500)
+        )
+        # Every vertex lies on a din->dout path.
+        assert len(cg.topo) == len(gd.vertices)
+        assert len(cg.arcs) == len(gd.arcs)
+
+    def test_partial_closure(self, diamond):
+        circuit, gd = diamond
+        src = gd.vertex_of(circuit.cell("b").terminal("O")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        cg = build_constraint_graph(
+            gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 500)
+        )
+        names = {gd.vertices[v].name for v in cg.topo}
+        assert names == {"b.O", "d.O", "pin:dout"}
+        # c's path is excluded
+        assert "c.O" not in names
+
+    def test_arcs_sorted_topologically(self, diamond):
+        circuit, gd = diamond
+        src = gd.vertex_of(circuit.external_pin("din")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        cg = build_constraint_graph(
+            gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 500)
+        )
+        for earlier, later in zip(cg.arcs, cg.arcs[1:]):
+            assert cg.pos[earlier.tail] <= cg.pos[later.tail]
+
+    def test_arcs_of_net_index(self, diamond):
+        circuit, gd = diamond
+        src = gd.vertex_of(circuit.external_pin("din")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        cg = build_constraint_graph(
+            gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 500)
+        )
+        assert "n_a" in cg.arcs_of_net
+        assert len(cg.arcs_of_net["n_a"]) == 2  # fans to b and c
+        net_a = circuit.net("n_a")
+        assert cg.involves_net(net_a)
+        assert {n.name for n in cg.nets()} == {
+            "n_in", "n_a", "n_b", "n_c", "n_d",
+        }
+
+    def test_unreachable_pair_raises(self, diamond):
+        circuit, gd = diamond
+        src = gd.vertex_of(circuit.external_pin("dout")).index
+        snk = gd.vertex_of(circuit.external_pin("din")).index
+        with pytest.raises(TimingError):
+            build_constraint_graph(
+                gd,
+                PathConstraint("p", frozenset([src]), frozenset([snk]), 500),
+            )
+
+    def test_vertex_out_of_range_raises(self, diamond):
+        _, gd = diamond
+        with pytest.raises(TimingError):
+            build_constraint_graph(
+                gd,
+                PathConstraint(
+                    "p", frozenset([999]), frozenset([0]), 500
+                ),
+            )
+
+    def test_multiple_sources_and_sinks(self, diamond):
+        circuit, gd = diamond
+        b = gd.vertex_of(circuit.cell("b").terminal("O")).index
+        c_v = gd.vertex_of(circuit.cell("c").terminal("O")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        cg = build_constraint_graph(
+            gd,
+            PathConstraint(
+                "p", frozenset([b, c_v]), frozenset([snk]), 500
+            ),
+        )
+        names = {gd.vertices[v].name for v in cg.topo}
+        assert "b.O" in names and "c.O" in names

@@ -1,0 +1,168 @@
+"""Tests for repro.core.criteria (LM, C_d, Gl, LD, pen)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import build_diamond_circuit
+from repro.core.criteria import (
+    DelayCriteria,
+    NetTimingContext,
+    evaluate_delay_criteria,
+    local_margin,
+    penalty,
+)
+from repro.errors import TimingError
+from repro.timing import (
+    GlobalDelayGraph,
+    PathConstraint,
+    StaticTimingAnalyzer,
+    WireCaps,
+    build_constraint_graph,
+)
+
+
+class TestPenalty:
+    def test_zero_margin(self):
+        assert penalty(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_positive_margin_linear(self):
+        assert penalty(50.0, 100.0) == pytest.approx(0.5)
+        assert penalty(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_negative_margin_exponential(self):
+        assert penalty(-100.0, 100.0) == pytest.approx(math.e)
+
+    def test_continuous_at_zero(self):
+        assert penalty(-1e-9, 100.0) == pytest.approx(
+            penalty(1e-9, 100.0), abs=1e-6
+        )
+
+    def test_requires_positive_limit(self):
+        with pytest.raises(TimingError):
+            penalty(1.0, 0.0)
+
+    @given(
+        st.floats(-500, 500), st.floats(-500, 500), st.floats(1.0, 1000.0)
+    )
+    def test_monotone_decreasing_in_margin(self, x1, x2, limit):
+        lo, hi = min(x1, x2), max(x1, x2)
+        assert penalty(lo, limit) >= penalty(hi, limit) - 1e-12
+
+    @given(st.floats(-200, 200), st.floats(1.0, 500.0))
+    def test_always_positive_below_limit(self, x, limit):
+        if x < limit:
+            assert penalty(x, limit) > 0.0
+
+
+@pytest.fixture()
+def timed_diamond(library):
+    circuit = build_diamond_circuit(library)
+    gd = GlobalDelayGraph.build(circuit)
+    src = gd.vertex_of(circuit.external_pin("din")).index
+    snk = gd.vertex_of(circuit.external_pin("dout")).index
+    cg = build_constraint_graph(
+        gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 300.0)
+    )
+    analyzer = StaticTimingAnalyzer(gd, [cg])
+    return circuit, gd, cg, analyzer
+
+
+class TestLocalMargin:
+    def test_no_increase_keeps_margin(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps()
+        timing = analyzer.analyze_constraint(cg, caps)
+        net = circuit.net("n_b")
+        lm = local_margin(cg, timing, net, caps.get(net))
+        assert lm == pytest.approx(timing.margin_ps)
+
+    def test_increase_on_critical_net_reduces_margin_exactly(
+        self, timed_diamond
+    ):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps({"n_b": 1.0})
+        timing = analyzer.analyze_constraint(cg, caps)
+        net = circuit.net("n_b")
+        arc_pos = cg.arcs_of_net["n_b"][0]
+        td = cg.arcs[arc_pos].td_ps_per_pf
+        lm = local_margin(cg, timing, net, 1.5)
+        # n_b is on the critical path -> LM is exactly the new margin.
+        assert lm == pytest.approx(timing.margin_ps - 0.5 * td)
+
+    def test_off_path_increase_is_pessimistic(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps({"n_b": 2.0})  # b-branch dominates
+        timing = analyzer.analyze_constraint(cg, caps)
+        net = circuit.net("n_c")
+        small = local_margin(cg, timing, net, 0.01)
+        # A small increase on the non-critical branch cannot violate.
+        assert small <= timing.margin_ps
+
+    def test_margin_never_improves(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps({"n_b": 0.4, "n_c": 0.2})
+        timing = analyzer.analyze_constraint(cg, caps)
+        for net_name in ("n_a", "n_b", "n_c", "n_d", "n_in"):
+            net = circuit.net(net_name)
+            lm = local_margin(
+                cg, timing, net, caps.get(net) + 0.3
+            )
+            assert lm <= timing.margin_ps + 1e-9
+
+
+class TestEvaluateDelayCriteria:
+    def test_unconstrained_net_is_zero(self, timed_diamond):
+        circuit, _, _, _ = timed_diamond
+        context = NetTimingContext(circuit.net("n_b"))
+        result = evaluate_delay_criteria(context, 0.0, 1.0, {})
+        assert result is DelayCriteria.ZERO
+
+    def test_contexts_built_from_constraints(self, timed_diamond):
+        circuit, _, cg, _ = timed_diamond
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        assert contexts["n_b"].constrained
+        assert contexts["n_b"].constraints == [cg]
+
+    def test_gl_nonnegative_and_ld_positive(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps()
+        timings = {cg.name: analyzer.analyze_constraint(cg, caps)}
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        result = evaluate_delay_criteria(
+            contexts["n_b"], 0.0, 0.5, timings
+        )
+        assert result.global_delay >= 0.0
+        assert result.local_delay > 0.0
+        assert result.critical_count == 0
+
+    def test_critical_count_triggers_on_violation(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps()
+        timings = {cg.name: analyzer.analyze_constraint(cg, caps)}
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        huge = evaluate_delay_criteria(
+            contexts["n_b"], 0.0, 100.0, timings
+        )
+        assert huge.critical_count == 1
+        assert huge.global_delay > 0.0
+
+    def test_ld_scales_with_arc_count(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        caps = WireCaps()
+        timings = {cg.name: analyzer.analyze_constraint(cg, caps)}
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        # n_a feeds two arcs, n_b feeds one.
+        ld_a = evaluate_delay_criteria(
+            contexts["n_a"], 0.0, 1.0, timings
+        ).local_delay
+        ld_b = evaluate_delay_criteria(
+            contexts["n_b"], 0.0, 1.0, timings
+        ).local_delay
+        assert ld_a > ld_b
+
+    def test_as_tuple_ordering(self):
+        a = DelayCriteria(0, 1.0, 5.0)
+        b = DelayCriteria(1, 0.0, 0.0)
+        assert a.as_tuple() < b.as_tuple()

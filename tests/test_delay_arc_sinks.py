@@ -1,0 +1,81 @@
+"""Tests for per-arc sink pins in G_D and their use by the RC model."""
+
+import pytest
+
+from conftest import build_diamond_circuit
+from repro.analysis.rc_signoff import ElmoreWireDelays
+from repro.netlist import Circuit, TerminalDirection
+from repro.netlist.circuit import ExternalPin, Terminal
+from repro.timing import GlobalDelayGraph
+
+
+class TestSinkPins:
+    def test_every_arc_records_its_sink(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        for arc in gd.arcs:
+            assert arc.sink_pin is not None
+            assert arc.sink_pin in arc.net.sinks
+
+    def test_combinational_arc_sink_is_input_terminal(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        head_names = {}
+        for arc in gd.arcs:
+            if isinstance(arc.sink_pin, Terminal):
+                assert arc.sink_pin.is_input
+                # The head output belongs to the same cell as the sink
+                # input (for combinational arcs).
+                head = gd.vertices[arc.head].ref
+                if isinstance(head, Terminal) and head.is_output:
+                    assert head.cell is arc.sink_pin.cell
+
+    def test_external_output_arc_sink_is_pin(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        dout = circuit.external_pin("dout")
+        arcs = [a for a in gd.arcs if a.sink_pin is dout]
+        assert len(arcs) == 1
+        assert arcs[0].net.name == "n_d"
+
+    def test_ff_arcs_record_d_and_clk(self, library):
+        circuit = Circuit("ff", library)
+        din = circuit.add_external_pin("din", TerminalDirection.INPUT)
+        clk = circuit.add_external_pin("clk", TerminalDirection.INPUT)
+        dout = circuit.add_external_pin("q", TerminalDirection.OUTPUT)
+        ff = circuit.add_cell("ff", "DFF")
+        circuit.connect(circuit.add_net("nd").name, din, ff.terminal("D"))
+        circuit.connect(circuit.add_net("nc").name, clk, ff.terminal("CLK"))
+        circuit.connect(circuit.add_net("nq").name, ff.terminal("Q"), dout)
+        gd = GlobalDelayGraph.build(circuit)
+        sink_names = {
+            arc.sink_pin.full_name for arc in gd.arcs
+        }
+        assert {"ff.D", "ff.CLK", "pin:q"} == sink_names
+
+
+class TestElmoreArcLookup:
+    def test_arc_wire_delay_uses_net_and_sink(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        # Fabricate per-sink delays and confirm the right one is charged.
+        wire = ElmoreWireDelays(
+            {
+                ("n_a", "b.I0"): 11.0,
+                ("n_a", "c.I0"): 22.0,
+            }
+        )
+        by_sink = {}
+        for arc in gd.arcs:
+            if arc.net.name == "n_a":
+                by_sink[arc.sink_pin.full_name] = (
+                    wire.arc_wire_delay_ps(arc)
+                )
+        assert by_sink == {"b.I0": 11.0, "c.I0": 22.0}
+
+    def test_missing_sink_defaults_zero(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        wire = ElmoreWireDelays({})
+        for arc in gd.arcs:
+            assert wire.arc_wire_delay_ps(arc) == 0.0

@@ -1,0 +1,128 @@
+"""Tests for repro.timing.delay_graph (G_D construction)."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist import Circuit, TerminalDirection
+from repro.timing import GlobalDelayGraph
+from repro.timing.delay_graph import VertexKind
+
+
+def two_stage_circuit(library):
+    """pin -> g1(NOR2, both inputs) -> ff -> g2 -> out, plus clock."""
+    c = Circuit("two", library)
+    din = c.add_external_pin("din", TerminalDirection.INPUT)
+    clk = c.add_external_pin("clk", TerminalDirection.INPUT)
+    dout = c.add_external_pin("dout", TerminalDirection.OUTPUT)
+    g1 = c.add_cell("g1", "NOR2")
+    ff = c.add_cell("ff", "DFF")
+    g2 = c.add_cell("g2", "INV1")
+    c.connect(c.add_net("n0").name, din, g1.terminal("I0"), g1.terminal("I1"))
+    c.connect(c.add_net("n1").name, g1.terminal("O"), ff.terminal("D"))
+    c.connect(c.add_net("nc").name, clk, ff.terminal("CLK"))
+    c.connect(c.add_net("n2").name, ff.terminal("Q"), g2.terminal("I0"))
+    c.connect(c.add_net("n3").name, g2.terminal("O"), dout)
+    return c
+
+
+class TestBuild:
+    def test_vertex_kinds(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        din = gd.vertex_of(c.external_pin("din"))
+        assert din.kind is VertexKind.SOURCE
+        q = gd.vertex_of(c.cell("ff").terminal("Q"))
+        assert q.kind is VertexKind.SOURCE
+        assert q.source_offset_ps == 65.0  # CLK->Q intrinsic
+        d = gd.vertex_of(c.cell("ff").terminal("D"))
+        assert d.kind is VertexKind.SINK
+        g1 = gd.vertex_of(c.cell("g1").terminal("O"))
+        assert g1.kind is VertexKind.GATE
+        dout = gd.vertex_of(c.external_pin("dout"))
+        assert dout.kind is VertexKind.SINK
+
+    def test_combinational_inputs_have_no_vertex(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        assert gd.vertex_index_of(c.cell("g1").terminal("I0")) is None
+        with pytest.raises(TimingError):
+            gd.vertex_of(c.cell("g1").terminal("I0"))
+
+    def test_arc_structure(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        # n0 fans into g1 through two inputs -> 2 arcs din->g1.O
+        din = gd.vertex_of(c.external_pin("din")).index
+        g1 = gd.vertex_of(c.cell("g1").terminal("O")).index
+        arcs = [a for a in gd.arcs if a.tail == din and a.head == g1]
+        assert len(arcs) == 2
+
+    def test_arc_constants_match_eq1(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c, pad_tf_ps_per_pf=40.0)
+        din = gd.vertex_of(c.external_pin("din")).index
+        arcs = [a for a in gd.arcs if a.tail == din]
+        # const = T0(Ik, O) + FinSum(n0) * pad_tf
+        fin = 0.02  # two NOR2 inputs at 0.010 pF
+        consts = sorted(a.const_ps for a in arcs)
+        assert consts[0] == pytest.approx(32.0 + fin * 40.0)
+        assert consts[1] == pytest.approx(34.0 + fin * 40.0)
+
+    def test_arc_delay_uses_td(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c, pad_td_ps_per_pf=100.0)
+        din = gd.vertex_of(c.external_pin("din")).index
+        arc = next(a for a in gd.arcs if a.tail == din)
+        assert arc.delay_ps(0.5) == pytest.approx(arc.const_ps + 50.0)
+
+    def test_clock_net_arcs_end_at_clk_sink(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        clk_sink = gd.vertex_of(c.cell("ff").terminal("CLK"))
+        assert clk_sink.kind is VertexKind.SINK
+        assert len(gd.in_arcs[clk_sink.index]) == 1
+
+    def test_ff_setup_added_on_d_arc_only(self, library):
+        c = two_stage_circuit(library)
+        gd0 = GlobalDelayGraph.build(c, ff_setup_ps=0.0)
+        c2 = two_stage_circuit(library)
+        gd1 = GlobalDelayGraph.build(c2, ff_setup_ps=10.0)
+        d0 = gd0.vertex_of(c.cell("ff").terminal("D")).index
+        d1 = gd1.vertex_of(c2.cell("ff").terminal("D")).index
+        arc0 = gd0.arcs[gd0.in_arcs[d0][0]]
+        arc1 = gd1.arcs[gd1.in_arcs[d1][0]]
+        assert arc1.const_ps == pytest.approx(arc0.const_ps + 10.0)
+
+    def test_topological_order_complete(self, library):
+        gd = GlobalDelayGraph.build(two_stage_circuit(library))
+        order = gd.topological_order()
+        assert sorted(order) == list(range(len(gd.vertices)))
+        position = {v: i for i, v in enumerate(order)}
+        for arc in gd.arcs:
+            assert position[arc.tail] < position[arc.head]
+
+    def test_cycle_detection(self, library):
+        c = Circuit("loop", library)
+        a = c.add_cell("a", "INV1")
+        b = c.add_cell("b", "INV1")
+        c.connect(c.add_net("n1").name, a.terminal("O"), b.terminal("I0"))
+        c.connect(c.add_net("n2").name, b.terminal("O"), a.terminal("I0"))
+        with pytest.raises(TimingError):
+            GlobalDelayGraph.build(c)
+
+    def test_sources_and_sinks_lists(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        source_names = {v.name for v in gd.sources()}
+        assert "pin:din" in source_names
+        assert "pin:clk" in source_names
+        assert "ff.Q" in source_names
+        sink_names = {v.name for v in gd.sinks()}
+        assert "ff.D" in sink_names
+        assert "ff.CLK" in sink_names
+        assert "pin:dout" in sink_names
+
+    def test_net_registry(self, library):
+        c = two_stage_circuit(library)
+        gd = GlobalDelayGraph.build(c)
+        assert set(gd.net_index) == {"n0", "n1", "nc", "n2", "n3"}

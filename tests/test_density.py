@@ -1,0 +1,173 @@
+"""Tests for repro.core.density, including a brute-force cross-check."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.density import DensityEngine, coverage_columns
+from repro.errors import RoutingError
+from repro.geometry import Interval
+from repro.routegraph.graph import EdgeKind, RouteEdge
+
+
+def trunk(index, channel, lo, hi):
+    return RouteEdge(
+        index, EdgeKind.TRUNK, 0, 1, channel, Interval(lo, hi),
+        float(hi - lo) * 4.0,
+    )
+
+
+def branch(index, channel, x):
+    return RouteEdge(
+        index, EdgeKind.BRANCH, 0, 1, channel, Interval(x, x), 64.0
+    )
+
+
+class TestCoverage:
+    def test_trunk_half_open(self):
+        assert coverage_columns(trunk(0, 0, 3, 7)) == (3, 6)
+
+    def test_trunk_single_span(self):
+        assert coverage_columns(trunk(0, 0, 3, 4)) == (3, 3)
+
+    def test_branch_single_column(self):
+        assert coverage_columns(branch(0, 0, 5)) == (5, 5)
+
+
+class TestEngine:
+    def test_add_remove_round_trip(self):
+        engine = DensityEngine(2, 10)
+        edge = trunk(0, 0, 2, 6)
+        engine.add_edge(edge)
+        assert engine.density_at(0, 2) == (1, 0)
+        assert engine.density_at(0, 5) == (1, 0)
+        assert engine.density_at(0, 6) == (0, 0)
+        engine.remove_edge(edge)
+        assert engine.density_at(0, 2) == (0, 0)
+
+    def test_branch_edges_do_not_count(self):
+        engine = DensityEngine(2, 10)
+        engine.add_edge(branch(0, 0, 3))
+        assert engine.density_at(0, 3) == (0, 0)
+
+    def test_weighted_multipitch(self):
+        engine = DensityEngine(1, 10)
+        engine.add_edge(trunk(0, 0, 0, 5), weight=3)
+        assert engine.density_at(0, 2) == (3, 0)
+
+    def test_bridge_maps(self):
+        engine = DensityEngine(1, 10)
+        edge = trunk(0, 0, 1, 4)
+        engine.add_edge(edge)
+        engine.add_bridge(edge)
+        assert engine.density_at(0, 2) == (1, 1)
+        engine.remove_bridge(edge)
+        assert engine.density_at(0, 2) == (1, 0)
+
+    def test_negative_density_raises(self):
+        engine = DensityEngine(1, 10)
+        with pytest.raises(RoutingError):
+            engine.remove_edge(trunk(0, 0, 0, 3))
+
+    def test_out_of_range_channel(self):
+        engine = DensityEngine(1, 10)
+        with pytest.raises(RoutingError):
+            engine.add_edge(trunk(0, 5, 0, 3))
+
+    def test_edge_beyond_width_raises(self):
+        engine = DensityEngine(1, 5)
+        with pytest.raises(RoutingError):
+            engine.add_edge(trunk(0, 0, 0, 9))
+
+    def test_channel_stats(self):
+        engine = DensityEngine(1, 10)
+        engine.add_edge(trunk(0, 0, 0, 6))
+        engine.add_edge(trunk(1, 0, 2, 4))
+        stats = engine.channel_stats(0)
+        assert stats.c_max == 2
+        assert stats.nc_max == 2  # columns 2, 3
+        assert stats.c_min == 0
+        assert stats.nc_min == 10
+
+    def test_edge_params(self):
+        engine = DensityEngine(1, 10)
+        engine.add_edge(trunk(0, 0, 0, 6))
+        engine.add_edge(trunk(1, 0, 2, 4))
+        probe = trunk(2, 0, 3, 8)
+        params = engine.edge_params(probe)
+        assert params.d_max == 2      # column 3 under both
+        assert params.nd_max == 1     # only column 3 is at C_M
+        assert params.d_min == 0
+
+    def test_version_bumps_on_change(self):
+        engine = DensityEngine(2, 10)
+        v0 = engine.version[0]
+        engine.add_edge(trunk(0, 0, 0, 3))
+        assert engine.version[0] == v0 + 1
+        assert engine.version[1] == 0
+
+    def test_total_peak_and_max_channel(self):
+        engine = DensityEngine(3, 10)
+        engine.add_edge(trunk(0, 0, 0, 3))
+        engine.add_edge(trunk(1, 2, 0, 3))
+        engine.add_edge(trunk(2, 2, 1, 5))
+        assert engine.total_peak() == 1 + 0 + 2
+        assert engine.max_channel() == 2
+
+    def test_profile_returns_copies(self):
+        engine = DensityEngine(1, 5)
+        engine.add_edge(trunk(0, 0, 0, 3))
+        d_max, d_min = engine.profile(0)
+        d_max[0] = 99
+        assert engine.density_at(0, 0) == (1, 0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2),      # channel
+            st.integers(0, 18),     # lo
+            st.integers(1, 10),     # span
+            st.integers(1, 3),      # weight
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_brute_force(edges_spec, data):
+    """Property: after arbitrary adds/removes the engine equals a naive
+    recount."""
+    width = 30
+    engine = DensityEngine(3, width)
+    live = []
+    reference = np.zeros((3, width), dtype=int)
+    edges = []
+    for i, (channel, lo, span, weight) in enumerate(edges_spec):
+        hi = min(width - 1, lo + span)
+        if hi <= lo:
+            continue
+        edge = trunk(i, channel, lo, hi)
+        edges.append((edge, weight))
+        engine.add_edge(edge, weight)
+        reference[channel, lo:hi] += weight
+        live.append((edge, weight))
+    # Remove a random subset.
+    n_remove = data.draw(st.integers(0, len(live)))
+    for edge, weight in live[:n_remove]:
+        engine.remove_edge(edge, weight)
+        lo, hi = coverage_columns(edge)
+        reference[edge.channel, lo : hi + 1] -= weight
+    for channel in range(3):
+        for column in range(width):
+            assert engine.density_at(channel, column)[0] == reference[
+                channel, column
+            ]
+        stats = engine.channel_stats(channel)
+        assert stats.c_max == reference[channel].max()
+        assert stats.nc_max == int(
+            (reference[channel] == reference[channel].max()).sum()
+        )

@@ -1,0 +1,75 @@
+"""Error-hierarchy and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "NetlistError",
+            "PlacementError",
+            "FeedthroughError",
+            "RoutingError",
+            "RoutingGraphError",
+            "TimingError",
+            "ChannelRoutingError",
+            "ConfigError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+        assert issubclass(exc_type, Exception)
+
+    def test_catchable_at_boundary(self):
+        try:
+            raise errors.FeedthroughError("x")
+        except errors.ReproError as caught:
+            assert str(caught) == "x"
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_key_entry_points(self):
+        assert callable(repro.GlobalRouter)
+        assert callable(repro.place_circuit)
+        assert callable(repro.route_channels)
+        assert callable(repro.standard_ecl_library)
+        assert callable(repro.run_pair)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.bench
+        import repro.bipolar
+        import repro.channelrouter
+        import repro.core
+        import repro.layout
+        import repro.netlist
+        import repro.routegraph
+        import repro.timing
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.bench,
+            repro.bipolar,
+            repro.channelrouter,
+            repro.core,
+            repro.layout,
+            repro.netlist,
+            repro.routegraph,
+            repro.timing,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,140 @@
+"""Tests for repro.layout.floorplan."""
+
+import pytest
+
+from repro.layout.floorplan import (
+    Floorplan,
+    assign_external_pins,
+    chip_height_um,
+    row_base_y_um,
+)
+from repro.layout.placement import Placement
+from repro.netlist import Circuit, PinSide, TerminalDirection
+from repro.tech import Technology
+
+
+@pytest.fixture()
+def placed(library):
+    circuit = Circuit("fp", library)
+    a = circuit.add_cell("a", "NOR2")
+    b = circuit.add_cell("b", "NOR2")
+    placement = Placement(circuit, [[a], [b]])
+    return circuit, placement
+
+
+class TestFloorplan:
+    def test_dimensions(self, placed):
+        _, placement = placed
+        tech = Technology(
+            pitch_um=4.0,
+            row_height_um=60.0,
+            channel_base_um=10.0,
+            track_pitch_um=5.0,
+        )
+        fp = Floorplan.from_placement(placement, {0: 2, 1: 0, 2: 4}, tech)
+        assert fp.width_um == 5 * 4.0
+        # 2 rows * 60 + channels (10+10) + (10+0) + (10+20)
+        assert fp.height_um == 120 + 20 + 10 + 30
+        assert fp.area_mm2 == pytest.approx(
+            (20 / 1000) * (180 / 1000)
+        )
+
+    def test_missing_channels_default_zero_tracks(self, placed):
+        _, placement = placed
+        tech = Technology(channel_base_um=8.0)
+        fp = Floorplan.from_placement(placement, {}, tech)
+        assert fp.height_um == pytest.approx(
+            2 * tech.row_height_um + 3 * 8.0
+        )
+
+
+class TestVerticalProfile:
+    def test_row_base_y(self, placed):
+        _, placement = placed
+        tech = Technology(
+            row_height_um=60.0, channel_base_um=10.0, track_pitch_um=5.0
+        )
+        ys = row_base_y_um(placement, {0: 2, 1: 1}, tech)
+        assert ys[0] == pytest.approx(20.0)       # channel0 = 10+10
+        assert ys[1] == pytest.approx(20 + 60 + 15)
+
+    def test_chip_height_consistent_with_floorplan(self, placed):
+        _, placement = placed
+        tech = Technology()
+        tracks = {0: 3, 1: 1, 2: 2}
+        assert chip_height_um(placement, tracks, tech) == pytest.approx(
+            Floorplan.from_placement(placement, tracks, tech).height_um
+        )
+
+
+class TestAssignExternalPins:
+    def test_assigns_near_net_median(self, placed):
+        circuit, placement = placed
+        pin = circuit.add_external_pin("p", TerminalDirection.INPUT)
+        net = circuit.add_net("n")
+        circuit.connect(
+            "n", pin, circuit.cell("a").terminal("I0")
+        )
+        columns = assign_external_pins(circuit, placement)
+        assert columns["p"] == placement.terminal_column(
+            circuit.cell("a").terminal("I0")
+        )
+
+    def test_respects_existing_columns(self, placed):
+        circuit, placement = placed
+        pin = circuit.add_external_pin(
+            "p", TerminalDirection.INPUT, column=3
+        )
+        columns = assign_external_pins(circuit, placement)
+        assert columns["p"] == 3
+        assert pin.column == 3
+
+    def test_collision_resolution_same_side(self, placed):
+        circuit, placement = placed
+        a = circuit.cell("a")
+        pins = []
+        for i in range(3):
+            pin = circuit.add_external_pin(
+                f"p{i}", TerminalDirection.INPUT, side=PinSide.BOTTOM
+            )
+            net = circuit.add_net(f"n{i}")
+            target = "I0" if i == 0 else "I1"
+            if i < 2:
+                circuit.connect(f"n{i}", pin, a.terminal(target))
+            else:
+                circuit.connect(
+                    f"n{i}", pin, circuit.cell("b").terminal("I0")
+                )
+            pins.append(pin)
+        columns = assign_external_pins(circuit, placement)
+        values = [columns[f"p{i}"] for i in range(3)]
+        assert len(set(values)) == 3
+
+    def test_opposite_sides_may_share_column(self, placed):
+        circuit, placement = placed
+        bottom = circuit.add_external_pin(
+            "pb", TerminalDirection.INPUT, side=PinSide.BOTTOM
+        )
+        top = circuit.add_external_pin(
+            "pt", TerminalDirection.OUTPUT, side=PinSide.TOP
+        )
+        net = circuit.add_net("n")
+        circuit.connect(
+            "n",
+            bottom,
+            circuit.cell("a").terminal("I0"),
+        )
+        net2 = circuit.add_net("n2")
+        circuit.connect(
+            "n2", circuit.cell("a").terminal("O"), top
+        )
+        # force same ideal column
+        columns = assign_external_pins(circuit, placement)
+        assert 0 <= columns["pb"] < placement.width_columns
+        assert 0 <= columns["pt"] < placement.width_columns
+
+    def test_unconnected_pin_lands_mid_chip(self, placed):
+        circuit, placement = placed
+        circuit.add_external_pin("lonely", TerminalDirection.INPUT)
+        columns = assign_external_pins(circuit, placement)
+        assert columns["lonely"] == placement.width_columns // 2

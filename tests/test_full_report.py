@@ -1,0 +1,59 @@
+"""Tests for the full routing report aggregator."""
+
+import pytest
+
+from conftest import route_chain
+from repro import Technology, route_channels
+from repro.analysis.report import full_report
+
+
+@pytest.fixture()
+def report(library):
+    circuit, placement, constraints, result = route_chain(library)
+    channel_result = route_channels(result, placement, Technology())
+    return full_report(
+        circuit, placement, result, channel_result, constraints,
+        Technology(),
+    )
+
+
+class TestFullReport:
+    def test_header_contents(self, report):
+        assert "routing report" in report.header
+        assert "critical delay" in report.header
+        assert "constraints" in report.header
+
+    def test_sections_present(self, report):
+        text = report.format()
+        assert "--- wires ---" in text
+        assert "--- channels ---" in text
+        assert "--- critical paths" in text
+        assert "tracks per channel" in text
+
+    def test_signoff_consistent(self, report):
+        assert (
+            f"{report.signoff.critical_delay_ps:10.1f}"
+            in report.header
+        )
+
+    def test_timing_paths_limit(self, library):
+        circuit, placement, constraints, result = route_chain(library)
+        channel_result = route_channels(result, placement, Technology())
+        without_paths = full_report(
+            circuit, placement, result, channel_result, constraints,
+            Technology(), timing_paths=0,
+        )
+        assert "--- critical paths" not in without_paths.format()
+
+    def test_no_constraints_variant(self, library):
+        circuit, placement, constraints, result = route_chain(
+            library, constrained=False
+        )
+        channel_result = route_channels(result, placement, Technology())
+        report = full_report(
+            circuit, placement, result, channel_result, [],
+            Technology(),
+        )
+        text = report.format()
+        assert "routing report" in text
+        assert "--- critical paths" not in text

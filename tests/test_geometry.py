@@ -1,0 +1,152 @@
+"""Unit and property tests for repro.geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Interval, Rect, hpwl, manhattan
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(2, 7)
+        assert iv.span == 5
+        assert iv.width == 6
+        assert list(iv) == [2, 7]
+
+    def test_single_column(self):
+        iv = Interval(3, 3)
+        assert iv.span == 0
+        assert iv.width == 1
+        assert iv.contains(3)
+        assert not iv.contains(2)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_spanning(self):
+        assert Interval.spanning([5, 1, 3]) == Interval(1, 5)
+
+    def test_spanning_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.spanning([])
+
+    def test_contains_bounds(self):
+        iv = Interval(1, 4)
+        assert iv.contains(1)
+        assert iv.contains(4)
+        assert not iv.contains(0)
+        assert not iv.contains(5)
+
+    def test_overlaps(self):
+        assert Interval(0, 3).overlaps(Interval(3, 5))
+        assert not Interval(0, 2).overlaps(Interval(3, 5))
+
+    def test_touches_or_overlaps_adjacent(self):
+        assert Interval(1, 3).touches_or_overlaps(Interval(4, 6))
+        assert not Interval(1, 3).touches_or_overlaps(Interval(5, 6))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).intersection(Interval(3, 4))
+
+    def test_union_hull(self):
+        assert Interval(0, 1).union_hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_columns_iteration(self):
+        assert list(Interval(2, 4).columns()) == [2, 3, 4]
+
+    def test_clamp(self):
+        assert Interval(0, 10).clamp(2, 5) == Interval(2, 5)
+        with pytest.raises(ValueError):
+            Interval(0, 1).clamp(5, 9)
+
+    def test_ordering(self):
+        assert Interval(0, 2) < Interval(0, 3) < Interval(1, 1)
+
+    @given(
+        st.integers(-50, 50), st.integers(0, 50),
+        st.integers(-50, 50), st.integers(0, 50),
+    )
+    def test_overlap_symmetry(self, a_lo, a_span, b_lo, b_span):
+        a = Interval(a_lo, a_lo + a_span)
+        b = Interval(b_lo, b_lo + b_span)
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.touches_or_overlaps(b) == b.touches_or_overlaps(a)
+
+    @given(
+        st.integers(-50, 50), st.integers(0, 50),
+        st.integers(-50, 50), st.integers(0, 50),
+    )
+    def test_overlap_iff_common_column(self, a_lo, a_span, b_lo, b_span):
+        a = Interval(a_lo, a_lo + a_span)
+        b = Interval(b_lo, b_lo + b_span)
+        common = set(a.columns()) & set(b.columns())
+        assert a.overlaps(b) == bool(common)
+
+    @given(
+        st.integers(-50, 50), st.integers(0, 20),
+        st.integers(-50, 50), st.integers(0, 20),
+    )
+    def test_union_hull_covers_both(self, a_lo, a_span, b_lo, b_span):
+        a = Interval(a_lo, a_lo + a_span)
+        b = Interval(b_lo, b_lo + b_span)
+        hull = a.union_hull(b)
+        assert hull.lo <= min(a.lo, b.lo)
+        assert hull.hi >= max(a.hi, b.hi)
+
+
+class TestRect:
+    def test_bounding(self):
+        rect = Rect.bounding([(0, 0), (3, 1), (2, 5)])
+        assert rect == Rect(0, 0, 3, 5)
+        assert rect.width == 3
+        assert rect.height == 5
+        assert rect.half_perimeter == 8
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 1, 0)
+
+    def test_contains(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.contains(0, 4)
+        assert not rect.contains(5, 0)
+
+    def test_single_point(self):
+        rect = Rect.bounding([(2, 3)])
+        assert rect.half_perimeter == 0
+
+
+class TestFunctions:
+    def test_hpwl_matches_rect(self):
+        points = [(0, 0), (4, 2), (1, 7)]
+        assert hpwl(points) == 4 + 7
+
+    def test_hpwl_empty_raises(self):
+        with pytest.raises(ValueError):
+            hpwl([])
+
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_hpwl_dominates_pairwise_manhattan(self, points):
+        # |ax-bx| <= bbox width and |ay-by| <= bbox height for any pair,
+        # so the half-perimeter dominates every pairwise distance.
+        worst = max(manhattan(a, b) for a in points for b in points)
+        assert hpwl(points) >= worst

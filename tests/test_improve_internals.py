@@ -1,0 +1,114 @@
+"""White-box tests for the improvement-phase helpers."""
+
+import pytest
+
+from conftest import build_chain_circuit, build_fanout_circuit
+from repro import (
+    GlobalDelayGraph,
+    GlobalRouter,
+    PathConstraint,
+    PlacerConfig,
+    RouterConfig,
+    place_circuit,
+)
+from repro.core.improve import (
+    _congested_nets,
+    improve_area,
+    improve_delay,
+    recover_violations,
+)
+from repro.core.selection import SelectionMode
+
+
+def prepared_router(library, limit_ps=2000.0):
+    circuit = build_chain_circuit(library, n_gates=8)
+    placement = place_circuit(
+        circuit, PlacerConfig(n_rows=3, feed_fraction=0.4)
+    )
+    gd = GlobalDelayGraph.build(circuit)
+    constraint = PathConstraint(
+        "p0",
+        frozenset([gd.vertex_of(circuit.external_pin("din")).index]),
+        frozenset([gd.vertex_of(circuit.cell("ff").terminal("D")).index]),
+        limit_ps,
+    )
+    config = RouterConfig(
+        run_violation_recovery=False,
+        run_delay_improvement=False,
+        run_area_improvement=False,
+    )
+    router = GlobalRouter(circuit, placement, [constraint], config)
+    router.route()
+    return router
+
+
+class TestCongestedNets:
+    def test_targets_cover_peak_columns(self, library):
+        router = prepared_router(library)
+        targets = _congested_nets(router)
+        engine = router.engine
+        channel = engine.max_channel()
+        stats = engine.channel_stats(channel)
+        if stats.c_max == 0:
+            pytest.skip("no congestion in fixture")
+        assert targets
+        # The first target covers at least one peak column.
+        from repro.routegraph.graph import EdgeKind
+
+        state = router.states[targets[0]]
+        peak = {
+            x
+            for x in range(engine.width_columns)
+            if engine.d_max[channel][x] == stats.c_max
+        }
+        covered = set()
+        for edge in state.graph.alive_edges():
+            if edge.kind is EdgeKind.TRUNK and edge.channel == channel:
+                covered.update(
+                    range(edge.interval.lo, edge.interval.hi)
+                )
+        assert covered & peak
+
+    def test_followers_excluded(self, library):
+        router = prepared_router(library)
+        followers = {
+            name
+            for name, state in router.states.items()
+            if state.is_follower
+        }
+        assert not followers & set(_congested_nets(router))
+
+
+class TestPhaseDrivers:
+    def test_recover_noop_when_satisfied(self, library):
+        router = prepared_router(library, limit_ps=100000.0)
+        attempts = recover_violations(router)
+        assert attempts == 0
+
+    def test_recover_attempts_when_violated(self, library):
+        router = prepared_router(library, limit_ps=200.0)
+        attempts = recover_violations(router)
+        assert attempts > 0
+
+    def test_improve_delay_touches_critical_nets(self, library):
+        router = prepared_router(library)
+        reroutes_before = router.reroutes
+        attempts = improve_delay(router)
+        assert attempts > 0
+        assert router.reroutes > reroutes_before
+
+    def test_improve_area_bounded_by_config(self, library):
+        router = prepared_router(library)
+        attempts = improve_area(router)
+        assert attempts <= (
+            router.config.max_area_passes
+            * router.config.area_nets_per_pass
+        )
+
+    def test_phase_metric_mode_ordering(self, library):
+        router = prepared_router(library)
+        timing_metric = router._phase_metric(SelectionMode.TIMING)
+        area_metric = router._phase_metric(SelectionMode.AREA)
+        # Same underlying quantities, different priority order.
+        assert timing_metric[0] == area_metric[0]  # violation mass first
+        assert set(timing_metric[1:]) == set(area_metric[1:])

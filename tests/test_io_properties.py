@@ -1,0 +1,94 @@
+"""Property-based round-trip tests for the file formats."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.circuits import CircuitSpec, generate_circuit
+from repro.io import (
+    parse_circuit,
+    parse_placement,
+    write_circuit,
+    write_placement,
+)
+from repro.io.library_format import library_from_dict, library_to_dict
+from repro.layout.placer import FeedStyle, PlacerConfig, place_circuit
+from repro.netlist import standard_ecl_library
+
+
+spec_strategy = st.builds(
+    CircuitSpec,
+    name=st.just("RT"),
+    n_gates=st.integers(10, 35),
+    n_flops=st.integers(1, 5),
+    n_inputs=st.integers(2, 5),
+    n_outputs=st.integers(1, 3),
+    n_diff_pairs=st.integers(0, 1),
+    clock_pitch=st.integers(1, 3),
+    seed=st.integers(0, 5000),
+)
+
+
+@given(spec_strategy)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_netlist_round_trip_is_lossless(spec):
+    library = standard_ecl_library()
+    original = generate_circuit(spec)
+    parsed = parse_circuit(write_circuit(original), library)
+
+    assert parsed.name == original.name
+    assert {(c.name, c.ctype.name) for c in parsed.cells} == {
+        (c.name, c.ctype.name) for c in original.cells
+    }
+    assert {
+        (p.name, p.direction, p.side, p.column)
+        for p in parsed.external_pins
+    } == {
+        (p.name, p.direction, p.side, p.column)
+        for p in original.external_pins
+    }
+    for net in original.nets:
+        clone = parsed.net(net.name)
+        assert clone.width_pitches == net.width_pitches
+        assert [p.full_name for p in clone.pins] == [
+            p.full_name for p in net.pins
+        ]
+    assert {
+        (a.name, b.name) for a, b in parsed.differential_pairs()
+    } == {
+        (a.name, b.name) for a, b in original.differential_pairs()
+    }
+    # Idempotence: a second round trip produces identical text.
+    assert write_circuit(parsed) == write_circuit(original)
+
+
+@given(spec_strategy, st.sampled_from(list(FeedStyle)))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_placement_round_trip_is_lossless(spec, feed_style):
+    library = standard_ecl_library()
+    circuit = generate_circuit(spec)
+    placement = place_circuit(
+        circuit,
+        PlacerConfig(feed_fraction=0.15, feed_style=feed_style),
+    )
+    clone = parse_placement(write_placement(placement), circuit)
+    assert clone.n_rows == placement.n_rows
+    assert clone.width_columns == placement.width_columns
+    for row in placement.rows:
+        for cell in row:
+            assert clone.location_of(cell) == placement.location_of(cell)
+    assert write_placement(clone) == write_placement(placement)
+
+
+def test_library_round_trip_idempotent():
+    library = standard_ecl_library()
+    once = library_to_dict(library)
+    twice = library_to_dict(library_from_dict(once))
+    assert once == twice

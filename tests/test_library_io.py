@@ -1,0 +1,91 @@
+"""Tests for cell-library JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.io.library_format import (
+    library_from_dict,
+    library_to_dict,
+    read_library,
+    write_library,
+)
+from repro.netlist import standard_ecl_library
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        original = standard_ecl_library()
+        clone = library_from_dict(library_to_dict(original))
+        assert clone.name == original.name
+        assert len(clone) == len(original)
+        for ct in original:
+            twin = clone.get(ct.name)
+            assert twin.width == ct.width
+            assert twin.is_sequential == ct.is_sequential
+            assert twin.is_feed == ct.is_feed
+            assert dict(twin.intrinsic_ps) == dict(ct.intrinsic_ps)
+            assert dict(twin.fanin_factor_ps_per_pf) == dict(
+                ct.fanin_factor_ps_per_pf
+            )
+            assert dict(twin.unit_cap_delay_ps_per_pf) == dict(
+                ct.unit_cap_delay_ps_per_pf
+            )
+            assert [
+                (t.name, t.direction, t.offset, t.fanin_pf)
+                for t in twin.terminals
+            ] == [
+                (t.name, t.direction, t.offset, t.fanin_pf)
+                for t in ct.terminals
+            ]
+
+    def test_payload_is_json(self):
+        payload = library_to_dict(standard_ecl_library())
+        json.dumps(payload)  # no exotic types
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "lib.json"
+        write_library(standard_ecl_library(), path)
+        clone = read_library(path)
+        assert "DFF" in clone
+        assert clone.feed_cell.name == "FEED"
+
+    def test_reloaded_library_routes(self, tmp_path, library):
+        """A reloaded library is a drop-in replacement end to end."""
+        from conftest import build_chain_circuit
+        from repro import GlobalRouter, PlacerConfig, place_circuit
+
+        path = tmp_path / "lib.json"
+        write_library(library, path)
+        reloaded = read_library(path)
+        circuit = build_chain_circuit(reloaded)
+        placement = place_circuit(
+            circuit, PlacerConfig(n_rows=2, feed_fraction=0.4)
+        )
+        result = GlobalRouter(circuit, placement).route()
+        assert result.routes
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(NetlistError):
+            library_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        payload = library_to_dict(standard_ecl_library())
+        payload["version"] = 99
+        with pytest.raises(NetlistError):
+            library_from_dict(payload)
+
+    def test_bad_arc_key_rejected(self):
+        payload = library_to_dict(standard_ecl_library())
+        payload["cells"][2]["intrinsic_ps"] = {"nonsense": 1.0}
+        with pytest.raises(NetlistError):
+            library_from_dict(payload)
+
+    def test_illegal_cell_data_rejected(self):
+        payload = library_to_dict(standard_ecl_library())
+        payload["cells"][0]["width"] = 0
+        with pytest.raises(NetlistError):
+            library_from_dict(payload)

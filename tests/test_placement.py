@@ -1,0 +1,179 @@
+"""Tests for repro.layout.placement."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.netlist import Circuit, PinSide, TerminalDirection
+from repro.layout.placement import Placement
+
+
+@pytest.fixture()
+def circuit(library):
+    c = Circuit("p", library)
+    c.add_cell("a", "NOR2")   # width 5
+    c.add_cell("b", "INV1")   # width 4
+    c.add_cell("d", "DFF")    # width 10
+    c.add_cell("f", "FEED")   # width 1
+    return c
+
+
+class TestGeometry:
+    def test_packing(self, circuit):
+        a, b, d, f = (circuit.cell(n) for n in "abdf")
+        placement = Placement(circuit, [[a, f, b], [d]])
+        assert placement.location_of(a) == (0, 0)
+        assert placement.location_of(f) == (0, 5)
+        assert placement.location_of(b) == (0, 6)
+        assert placement.location_of(d) == (1, 0)
+        assert placement.width_columns == 10
+        assert placement.row_width(0) == 10
+        assert placement.n_rows == 2
+        assert placement.n_channels == 3
+
+    def test_empty_rows_rejected(self, circuit):
+        with pytest.raises(PlacementError):
+            Placement(circuit, [])
+
+    def test_duplicate_cell_rejected(self, circuit):
+        a = circuit.cell("a")
+        with pytest.raises(PlacementError):
+            Placement(circuit, [[a, a]])
+
+    def test_terminal_coordinates(self, circuit):
+        a = circuit.cell("a")
+        b = circuit.cell("b")
+        placement = Placement(circuit, [[b, a]])
+        # b at x=0, a at x=4; NOR2 I0 offset 1, O offset 4.
+        assert placement.terminal_column(a.terminal("I0")) == 5
+        assert placement.terminal_column(a.terminal("O")) == 8
+        assert placement.terminal_row(a.terminal("O")) == 0
+
+    def test_unplaced_cell_raises(self, circuit):
+        a = circuit.cell("a")
+        b = circuit.cell("b")
+        placement = Placement(circuit, [[a]])
+        with pytest.raises(PlacementError):
+            placement.location_of(b)
+
+    def test_validate_requires_all_logic_cells(self, circuit):
+        a = circuit.cell("a")
+        placement = Placement(circuit, [[a]])
+        with pytest.raises(PlacementError):
+            placement.validate()
+
+
+class TestPins:
+    def test_pin_channels(self, circuit):
+        a = circuit.cell("a")
+        placement = Placement(circuit, [[a], [circuit.cell("b")]])
+        bottom = circuit.add_external_pin(
+            "pb", TerminalDirection.INPUT, side=PinSide.BOTTOM, column=1
+        )
+        top = circuit.add_external_pin(
+            "pt", TerminalDirection.OUTPUT, side=PinSide.TOP, column=2
+        )
+        assert placement.pin_channel(bottom) == 0
+        assert placement.pin_channel(top) == 2
+        assert placement.pin_adjacent_channels(bottom) == (0,)
+        assert placement.pin_position(top) == (2, 2)
+        assert placement.pin_position(bottom) == (1, -1)
+
+    def test_unassigned_pin_column_raises(self, circuit):
+        a = circuit.cell("a")
+        placement = Placement(circuit, [[a]])
+        pin = circuit.add_external_pin("p", TerminalDirection.INPUT)
+        with pytest.raises(PlacementError):
+            placement.pin_column(pin)
+
+    def test_terminal_adjacent_channels(self, circuit):
+        a = circuit.cell("a")
+        b = circuit.cell("b")
+        placement = Placement(circuit, [[a], [b]])
+        assert placement.pin_adjacent_channels(a.terminal("O")) == (0, 1)
+        assert placement.pin_adjacent_channels(b.terminal("O")) == (1, 2)
+
+
+class TestNetQueries:
+    def _net(self, circuit, placement_rows):
+        placement = Placement(circuit, placement_rows)
+        a, b, d = circuit.cell("a"), circuit.cell("b"), circuit.cell("d")
+        net = circuit.add_net("n")
+        circuit.connect("n", a.terminal("O"), b.terminal("I0"))
+        return placement, net
+
+    def test_center_column_is_median(self, circuit):
+        placement, net = self._net(
+            circuit, [[circuit.cell("a"), circuit.cell("b")]]
+        )
+        columns = sorted(
+            placement.terminal_column(p) for p in net.pins
+        )
+        assert placement.net_center_column(net) in columns
+
+    def test_same_row_net_crosses_nothing(self, circuit):
+        placement, net = self._net(
+            circuit, [[circuit.cell("a"), circuit.cell("b")],
+                      [circuit.cell("d")]]
+        )
+        assert placement.net_crossing_rows(net) == []
+        assert placement.net_feedthrough_rows(net) == []
+
+    def test_adjacent_row_net_crosses_nothing(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        placement = Placement(circuit, [[a], [b]])
+        net = circuit.add_net("n")
+        circuit.connect("n", a.terminal("O"), b.terminal("I0"))
+        assert placement.net_crossing_rows(net) == []
+
+    def test_two_row_gap_needs_feedthrough(self, circuit):
+        a, b, d = circuit.cell("a"), circuit.cell("b"), circuit.cell("d")
+        placement = Placement(circuit, [[a], [d], [b]])
+        net = circuit.add_net("n")
+        circuit.connect("n", a.terminal("O"), b.terminal("I0"))
+        assert placement.net_crossing_rows(net) == [1]
+        assert placement.net_feedthrough_rows(net) == [1]
+
+    def test_terminal_on_crossing_row_needs_no_feedthrough(self, circuit):
+        a, b, d = circuit.cell("a"), circuit.cell("b"), circuit.cell("d")
+        placement = Placement(circuit, [[a], [d], [b]])
+        net = circuit.add_net("n")
+        circuit.connect(
+            "n", a.terminal("O"), d.terminal("D"), b.terminal("I0")
+        )
+        assert placement.net_crossing_rows(net) == [1]
+        assert placement.net_feedthrough_rows(net) == []
+
+    def test_bottom_pin_to_row1_crosses_row0(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        placement = Placement(circuit, [[a], [b]])
+        pin = circuit.add_external_pin(
+            "p", TerminalDirection.INPUT, side=PinSide.BOTTOM, column=0
+        )
+        net = circuit.add_net("n")
+        circuit.connect("n", pin, b.terminal("I0"))
+        assert placement.net_crossing_rows(net) == [0]
+        assert placement.net_feedthrough_rows(net) == [0]
+
+
+class TestMutation:
+    def test_insert_cells_refreshes_coordinates(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        f = circuit.cell("f")
+        placement = Placement(circuit, [[a, b]])
+        placement.insert_cells(0, 1, [f])
+        assert placement.location_of(f) == (0, 5)
+        assert placement.location_of(b) == (0, 6)
+
+    def test_insert_bad_index_raises(self, circuit):
+        a = circuit.cell("a")
+        placement = Placement(circuit, [[a]])
+        with pytest.raises(PlacementError):
+            placement.insert_cells(0, 5, [circuit.cell("f")])
+
+    def test_feed_cells_in_row(self, circuit):
+        a, f = circuit.cell("a"), circuit.cell("f")
+        placement = Placement(circuit, [[a, f]])
+        feeds = placement.feed_cells_in_row(0)
+        assert len(feeds) == 1
+        assert feeds[0].x == 5
+        assert placement.feed_cells_in_row(0)[0].cell is f

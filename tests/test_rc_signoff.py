@@ -1,0 +1,131 @@
+"""Tests for the RC/Elmore sign-off extension."""
+
+import pytest
+
+from conftest import route_chain
+from repro import Technology
+from repro.analysis.rc_signoff import (
+    ElmoreWireDelays,
+    compute_elmore_wire_delays,
+    rc_sign_off,
+)
+from repro.channelrouter import route_channels
+from repro.timing.delay_model import ElmoreDelayModel
+
+
+@pytest.fixture()
+def rc_setup(library):
+    circuit, placement, constraints, result = route_chain(library)
+    model = ElmoreDelayModel(Technology())
+    return circuit, placement, constraints, result, model
+
+
+class TestElmoreTreeRecording:
+    def test_every_route_has_segments(self, rc_setup):
+        _, _, _, result, _ = rc_setup
+        for route in result.routes.values():
+            assert route.elmore_segments
+            assert len(route.sink_pin_names) >= 1
+
+    def test_segment_lengths_sum_to_route(self, rc_setup):
+        _, _, _, result, _ = rc_setup
+        for route in result.routes.values():
+            assert sum(
+                s.length_um for s in route.elmore_segments
+            ) == pytest.approx(route.total_length_um)
+
+    def test_sink_names_match_net_sinks(self, rc_setup):
+        circuit, _, _, result, _ = rc_setup
+        for name, route in result.routes.items():
+            net = circuit.net(name)
+            expected = {p.full_name for p in net.sinks}
+            assert set(route.sink_pin_names) == expected
+
+    def test_parent_indices_valid(self, rc_setup):
+        _, _, _, result, _ = rc_setup
+        for route in result.routes.values():
+            for i, seg in enumerate(route.elmore_segments):
+                assert -1 <= seg.parent < i
+
+
+class TestComputeDelays:
+    def test_all_sinks_have_delays(self, rc_setup):
+        circuit, _, _, result, model = rc_setup
+        wire = compute_elmore_wire_delays(circuit, result, model)
+        for name, route in result.routes.items():
+            for pin_name in route.sink_pin_names:
+                assert wire.of(name, pin_name) >= 0.0
+
+    def test_extra_length_increases_delays(self, rc_setup):
+        circuit, _, _, result, model = rc_setup
+        base = compute_elmore_wire_delays(circuit, result, model)
+        name = next(iter(result.routes))
+        loaded = compute_elmore_wire_delays(
+            circuit, result, model, extra_length_um={name: 500.0}
+        )
+        for pin_name in result.routes[name].sink_pin_names:
+            assert loaded.of(name, pin_name) > base.of(name, pin_name)
+
+    def test_longer_tree_slower(self, rc_setup):
+        circuit, _, _, result, model = rc_setup
+        wire = compute_elmore_wire_delays(circuit, result, model)
+        # Sanity: some net has strictly positive wire delay.
+        assert any(
+            wire.of(name, pin)
+            for name, route in result.routes.items()
+            for pin in route.sink_pin_names
+        )
+
+
+class TestRcSignOff:
+    def test_report_shape(self, rc_setup):
+        circuit, placement, constraints, result, model = rc_setup
+        report = rc_sign_off(circuit, result, constraints, model)
+        assert report.critical_delay_ps > 0
+        assert set(report.constraint_margins) == {
+            c.name for c in constraints
+        }
+
+    def test_rc_delay_at_least_intrinsic(self, rc_setup):
+        circuit, placement, constraints, result, model = rc_setup
+        from repro.timing import (
+            GlobalDelayGraph,
+            StaticTimingAnalyzer,
+            WireCaps,
+        )
+
+        report = rc_sign_off(circuit, result, constraints, model)
+        gd = GlobalDelayGraph.build(circuit)
+        zero_wire = StaticTimingAnalyzer(gd).graph_critical_delay(
+            WireCaps.zero()
+        )
+        assert report.critical_delay_ps >= zero_wire - 1e-9
+
+    def test_channel_verticals_can_be_charged(self, rc_setup):
+        circuit, placement, constraints, result, model = rc_setup
+        channel_result = route_channels(result, placement, Technology())
+        base = rc_sign_off(circuit, result, constraints, model)
+        full = rc_sign_off(
+            circuit, result, constraints, model,
+            extra_length_um=channel_result.net_vertical_um,
+        )
+        assert full.critical_delay_ps >= base.critical_delay_ps - 1e-9
+
+    def test_violations_property(self, rc_setup):
+        circuit, placement, constraints, result, model = rc_setup
+        report = rc_sign_off(circuit, result, constraints, model)
+        for name in report.violations:
+            assert report.constraint_margins[name] < 0
+
+    def test_default_model(self, rc_setup):
+        circuit, placement, constraints, result, _ = rc_setup
+        report = rc_sign_off(circuit, result, constraints)
+        assert report.critical_delay_ps > 0
+
+
+class TestWireDelayContainer:
+    def test_missing_entries_default_zero(self):
+        wire = ElmoreWireDelays({("n", "a.I0"): 5.0})
+        assert wire.of("n", "a.I0") == 5.0
+        assert wire.of("n", "b.I0") == 0.0
+        assert len(wire) == 1

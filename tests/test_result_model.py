@@ -1,0 +1,131 @@
+"""Tests for repro.core.result data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.result import (
+    AttachSide,
+    ChannelAttachment,
+    NetRoute,
+    RoutedEdge,
+    merge_intervals,
+)
+from repro.geometry import Interval
+from repro.routegraph.graph import EdgeKind
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        spans = [Interval(0, 2), Interval(5, 7)]
+        assert merge_intervals(spans) == spans
+
+    def test_overlap_merged(self):
+        assert merge_intervals(
+            [Interval(0, 4), Interval(3, 8)]
+        ) == [Interval(0, 8)]
+
+    def test_touching_merged(self):
+        assert merge_intervals(
+            [Interval(0, 4), Interval(5, 8)]
+        ) == [Interval(0, 8)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals(
+            [Interval(5, 8), Interval(0, 4), Interval(2, 6)]
+        ) == [Interval(0, 8)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 10)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_merge_covers_same_columns(self, raw):
+        spans = [Interval(lo, lo + size) for lo, size in raw]
+        merged = merge_intervals(spans)
+        original = {
+            column for span in spans for column in span.columns()
+        }
+        covered = {
+            column for span in merged for column in span.columns()
+        }
+        assert original == covered
+        # Merged spans are sorted and pairwise gap-separated.
+        for a, b in zip(merged, merged[1:]):
+            assert a.hi + 1 < b.lo
+
+
+class TestNetRoute:
+    def _route(self):
+        edges = [
+            RoutedEdge(EdgeKind.TRUNK, 0, Interval(0, 4), 16.0),
+            RoutedEdge(EdgeKind.TRUNK, 0, Interval(4, 7), 12.0),
+            RoutedEdge(EdgeKind.TRUNK, 1, Interval(2, 5), 12.0),
+            RoutedEdge(EdgeKind.BRANCH, 0, Interval(4, 4), 64.0),
+            RoutedEdge(
+                EdgeKind.CORRESPONDENCE, 0, Interval(0, 0), 0.0
+            ),
+        ]
+        return NetRoute(
+            net_name="n",
+            width_pitches=1,
+            edges=edges,
+            attachments=[
+                ChannelAttachment(0, 0, AttachSide.TOP),
+                ChannelAttachment(1, 2, AttachSide.BOTTOM),
+            ],
+            total_length_um=104.0,
+            wire_cap_pf=0.05,
+        )
+
+    def test_trunk_intervals_merged_per_channel(self):
+        route = self._route()
+        spans = route.trunk_intervals()
+        assert spans[0] == [Interval(0, 7)]
+        assert spans[1] == [Interval(2, 5)]
+        assert set(spans) == {0, 1}
+
+    def test_non_trunk_edges_ignored(self):
+        route = self._route()
+        spans = route.trunk_intervals()
+        total_edges = sum(len(v) for v in spans.values())
+        assert total_edges == 2  # merged trunks only
+
+
+class TestGlobalRoutingResultHelpers:
+    def test_summary_and_violations(self, library):
+        from conftest import route_chain
+
+        _, _, _, result = route_chain(library)
+        text = result.summary()
+        assert "critical delay" in text
+        assert "wire length" in text
+        for name in result.violations:
+            assert result.constraint_margins[name] < 0
+        assert result.total_length_mm == pytest.approx(
+            result.total_length_um / 1000.0
+        )
+
+    def test_worst_margin_empty_is_inf(self):
+        from repro.core.result import GlobalRoutingResult
+        from repro.layout.floorplan import Floorplan
+
+        result = GlobalRoutingResult(
+            circuit_name="x",
+            routes={},
+            wire_caps=None,
+            constraint_margins={},
+            critical_delay_ps=0.0,
+            channel_peak_density={},
+            estimated_floorplan=Floorplan(1.0, 1.0, {}),
+            total_length_um=0.0,
+            cpu_seconds=0.0,
+            deletions=0,
+            reroutes=0,
+        )
+        assert result.worst_margin_ps == float("inf")
+        assert result.violations == []

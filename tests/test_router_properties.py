@@ -1,0 +1,129 @@
+"""Property-based end-to-end router tests over random small circuits.
+
+Hypothesis draws circuit-generator specs; for each, the full pipeline must
+uphold the structural invariants regardless of topology, seed, placement
+style, or constraint tightness.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.circuits import CircuitSpec, DatasetSpec, make_dataset
+from repro.channelrouter import route_channels
+from repro.core import GlobalRouter, RouterConfig
+from repro.layout.placer import FeedStyle
+from repro.routegraph.graph import EdgeKind
+from repro.tech import Technology
+
+spec_strategy = st.builds(
+    CircuitSpec,
+    name=st.just("H"),
+    n_gates=st.integers(12, 40),
+    n_flops=st.integers(2, 6),
+    n_inputs=st.integers(2, 5),
+    n_outputs=st.integers(1, 4),
+    n_diff_pairs=st.integers(0, 1),
+    clock_pitch=st.integers(1, 2),
+    seed=st.integers(0, 10_000),
+)
+
+
+@st.composite
+def dataset_strategy(draw):
+    circuit_spec = draw(spec_strategy)
+    return DatasetSpec(
+        name="HDS",
+        circuit=circuit_spec,
+        feed_style=draw(st.sampled_from(list(FeedStyle))),
+        feed_fraction=draw(st.floats(0.02, 0.3)),
+        n_constraints=draw(st.integers(1, 5)),
+        constraint_factor=draw(st.floats(1.05, 2.0)),
+    )
+
+
+@given(dataset_strategy())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_full_pipeline_invariants(spec):
+    technology = Technology()
+    dataset = make_dataset(spec, technology)
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(technology=technology),
+    )
+    result = router.route()
+
+    # 1. Every routable net got a route and converged to a tree.
+    assert set(result.routes) == {
+        n.name for n in dataset.circuit.routable_nets
+    }
+    for state in router.states.values():
+        assert state.graph.is_tree
+        assert state.graph.terminals_connected()
+
+    # 2. Density engine equals a recount of the final wiring; d_m == d_M.
+    width = router.engine.width_columns
+    recount = {
+        c: np.zeros(width, dtype=int)
+        for c in range(router.engine.n_channels)
+    }
+    for state in router.states.values():
+        weight = state.net.width_pitches
+        for edge in state.graph.alive_edges():
+            if edge.kind is EdgeKind.TRUNK:
+                lo, hi = edge.interval.lo, edge.interval.hi - 1
+                recount[edge.channel][lo : hi + 1] += weight
+    for channel in range(router.engine.n_channels):
+        d_max = router.engine.d_max[channel]
+        d_min = router.engine.d_min[channel]
+        assert (d_max == recount[channel]).all()
+        assert (d_min == d_max).all()
+
+    # 3. Wire caps reflect routed lengths.
+    model = router.delay_model
+    for name, route in result.routes.items():
+        expected = model.wire_cap_pf(
+            route.total_length_um, route.width_pitches
+        )
+        assert result.wire_caps.get_name(name) == pytest.approx(expected)
+
+    # 4. Elmore tree segments sum to route length.
+    for route in result.routes.values():
+        assert sum(
+            seg.length_um for seg in route.elmore_segments
+        ) == pytest.approx(route.total_length_um)
+
+    # 5. Channel routing legal: per-track intervals disjoint, vertical
+    #    lengths nonnegative.
+    channel_result = route_channels(result, dataset.placement, technology)
+    for channel_out in channel_result.channels.values():
+        by_track = {}
+        for segment in channel_out.segments:
+            assert segment.track is not None
+            by_track.setdefault(segment.track, []).append(segment)
+        for members in by_track.values():
+            members.sort(key=lambda s: s.interval.lo)
+            for a, b in zip(members, members[1:]):
+                assert a.interval.hi < b.interval.lo
+    for extra in channel_result.net_vertical_um.values():
+        assert extra >= 0.0
+
+    # 6. Margins reported for every constraint.
+    assert set(result.constraint_margins) == {
+        c.name for c in dataset.constraints
+    }
+
+    # 7. The independent routing verifier finds nothing to complain about.
+    from repro.core.verify import verify_routing
+
+    assert verify_routing(
+        dataset.circuit, dataset.placement, result, router.assignment
+    ) == []

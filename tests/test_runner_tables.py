@@ -1,0 +1,96 @@
+"""Tests for the benchmark runner and table formatting."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.circuits import (
+    CircuitSpec,
+    DatasetSpec,
+    make_dataset,
+    small_suite,
+)
+from repro.bench.runner import RunRecord, run_dataset, run_pair
+from repro.bench.tables import format_table1, format_table2, format_table3
+from repro.layout.placer import FeedStyle
+
+TINY = DatasetSpec(
+    "TINY",
+    CircuitSpec(
+        "T", n_gates=30, n_flops=5, n_inputs=4, n_outputs=3,
+        n_diff_pairs=1, seed=2,
+    ),
+    FeedStyle.EVEN,
+    n_constraints=4,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    return run_pair(TINY)
+
+
+class TestRunDataset:
+    def test_record_fields(self, tiny_pair):
+        record, _ = tiny_pair
+        assert record.dataset == "TINY"
+        assert record.constrained
+        assert record.delay_ps > 0
+        assert record.area_mm2 > 0
+        assert record.length_mm > 0
+        assert record.cpu_s >= 0
+        assert record.cells > 0 and record.nets > 0
+        assert record.n_constraints == 4
+
+    def test_unconstrained_record(self, tiny_pair):
+        _, record = tiny_pair
+        assert not record.constrained
+
+    def test_shared_lower_bound(self, tiny_pair):
+        with_c, without_c = tiny_pair
+        assert with_c.lower_bound_ps == without_c.lower_bound_ps
+        assert with_c.lower_bound_ps > 0
+
+    def test_gap_definition(self, tiny_pair):
+        record, _ = tiny_pair
+        expected = 100.0 * (
+            record.delay_ps - record.lower_bound_ps
+        ) / record.lower_bound_ps
+        assert record.gap_to_bound_pct == pytest.approx(expected)
+
+    def test_delay_at_least_lower_bound(self, tiny_pair):
+        for record in tiny_pair:
+            assert record.delay_ps >= record.lower_bound_ps - 1e-6
+
+
+class TestTables:
+    def test_table1(self):
+        datasets = [make_dataset(TINY)]
+        text = format_table1(datasets)
+        assert "TINY" in text
+        assert "cells" in text
+
+    def test_table2(self, tiny_pair):
+        text = format_table2([tiny_pair])
+        assert "WITH constraints" in text
+        assert "WITHOUT constraints" in text
+        assert "TINY" in text
+        assert "Delay improvement" in text
+
+    def test_table3(self, tiny_pair):
+        text = format_table3([tiny_pair])
+        assert "lower bound" in text
+        assert "TINY" in text
+        assert "17.6%" in text  # paper reference cited in the footer
+
+    def test_tables_parse_numerically(self, tiny_pair):
+        text = format_table2([tiny_pair])
+        data_lines = [
+            line for line in text.splitlines() if line.startswith("TINY")
+        ]
+        assert len(data_lines) == 2
+        for line in data_lines:
+            parts = line.split()
+            assert len(parts) == 5
+            float(parts[1])
+            float(parts[2])

@@ -1,0 +1,114 @@
+"""Tests for repro.core.selection (Section 3.4 comparator)."""
+
+import pytest
+
+from repro.core.criteria import DelayCriteria
+from repro.core.density import ChannelStats, EdgeDensityParams
+from repro.core.selection import SelectionMode, selection_key
+from repro.geometry import Interval
+from repro.routegraph.graph import EdgeKind, RouteEdge
+
+
+def trunk(length=40.0, channel=0, index=0):
+    return RouteEdge(
+        index, EdgeKind.TRUNK, 0, 1, channel,
+        Interval(0, int(length // 4)), length,
+    )
+
+
+def corr(index=1):
+    return RouteEdge(
+        index, EdgeKind.CORRESPONDENCE, 0, 1, 0, Interval(0, 0), 0.0
+    )
+
+
+STATS = ChannelStats(c_max=5, nc_max=3, c_min=2, nc_min=4)
+PARAMS = EdgeDensityParams(d_max=5, nd_max=2, d_min=1, nd_min=1)
+ZERO = DelayCriteria.ZERO
+
+
+def key(edge=None, delay=ZERO, stats=STATS, params=PARAMS,
+        mode=SelectionMode.TIMING, tie=()):
+    return selection_key(
+        edge or trunk(), delay, stats, params, mode, tie_break=tie
+    )
+
+
+class TestTimingMode:
+    def test_smaller_cd_wins(self):
+        good = key(delay=DelayCriteria(0, 9.0, 9.0))
+        bad = key(delay=DelayCriteria(1, 0.0, 0.0))
+        assert good < bad
+
+    def test_gl_breaks_cd_tie(self):
+        good = key(delay=DelayCriteria(0, 0.1, 9.0))
+        bad = key(delay=DelayCriteria(0, 0.2, 0.0))
+        assert good < bad
+
+    def test_ld_breaks_gl_tie(self):
+        good = key(delay=DelayCriteria(0, 0.1, 1.0))
+        bad = key(delay=DelayCriteria(0, 0.1, 2.0))
+        assert good < bad
+
+    def test_trunk_preferred_over_correspondence(self):
+        assert key(edge=trunk()) < key(edge=corr())
+
+    def test_fm_condition(self):
+        near = EdgeDensityParams(d_max=5, nd_max=2, d_min=2, nd_min=1)
+        far = EdgeDensityParams(d_max=5, nd_max=2, d_min=0, nd_min=1)
+        assert key(params=near) < key(params=far)
+
+    def test_nm_condition(self):
+        covers = EdgeDensityParams(d_max=5, nd_max=2, d_min=2, nd_min=4)
+        misses = EdgeDensityParams(d_max=5, nd_max=2, d_min=2, nd_min=1)
+        assert key(params=covers) < key(params=misses)
+
+    def test_fM_condition(self):
+        at_peak = EdgeDensityParams(d_max=5, nd_max=1, d_min=2, nd_min=4)
+        below = EdgeDensityParams(d_max=3, nd_max=1, d_min=2, nd_min=4)
+        assert key(params=at_peak) < key(params=below)
+
+    def test_longer_edge_wins_final_tie(self):
+        long_key = key(edge=trunk(length=80.0))
+        short_key = key(edge=trunk(length=40.0))
+        assert long_key < short_key
+
+    def test_tie_break_appended(self):
+        a = key(tie=("a", 0))
+        b = key(tie=("b", 0))
+        assert a < b
+        assert a != b
+
+
+class TestAreaMode:
+    def test_cd_still_first(self):
+        good = key(mode=SelectionMode.AREA, delay=DelayCriteria(0, 9, 9))
+        bad = key(mode=SelectionMode.AREA, delay=DelayCriteria(1, 0, 0))
+        assert good < bad
+
+    def test_density_beats_gl_in_area_mode(self):
+        # Edge A: worse Gl but better density coverage.
+        a = key(
+            mode=SelectionMode.AREA,
+            delay=DelayCriteria(0, 5.0, 5.0),
+            params=EdgeDensityParams(d_max=5, nd_max=3, d_min=2, nd_min=4),
+        )
+        b = key(
+            mode=SelectionMode.AREA,
+            delay=DelayCriteria(0, 0.0, 0.0),
+            params=EdgeDensityParams(d_max=4, nd_max=0, d_min=1, nd_min=0),
+        )
+        assert a < b
+
+    def test_timing_mode_would_disagree(self):
+        a = key(
+            mode=SelectionMode.TIMING,
+            delay=DelayCriteria(0, 5.0, 5.0),
+            params=EdgeDensityParams(d_max=5, nd_max=3, d_min=2, nd_min=4),
+        )
+        b = key(
+            mode=SelectionMode.TIMING,
+            delay=DelayCriteria(0, 0.0, 0.0),
+            params=EdgeDensityParams(d_max=4, nd_max=0, d_min=1, nd_min=0),
+        )
+        assert b < a

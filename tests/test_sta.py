@@ -1,0 +1,207 @@
+"""Tests for repro.timing.sta, including brute-force cross-checks."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Circuit, TerminalDirection
+from repro.timing import (
+    GlobalDelayGraph,
+    PathConstraint,
+    StaticTimingAnalyzer,
+    WireCaps,
+    build_constraint_graph,
+    net_criticality_order,
+)
+from repro.timing.sta import arc_delay_ps
+
+from conftest import build_diamond_circuit as diamond_circuit
+
+
+def brute_force_worst(gd, cg, caps):
+    """Enumerate all simple source->sink paths and return the max delay."""
+    best = float("-inf")
+    sources = [cg.topo[p] for p in cg.source_positions]
+    sinks = {cg.topo[p] for p in cg.sink_positions}
+    arc_list = cg.arcs
+
+    def dfs(vertex, acc):
+        nonlocal best
+        if vertex in sinks:
+            best = max(best, acc)
+        for arc in arc_list:
+            if arc.tail == vertex:
+                dfs(arc.head, acc + arc_delay_ps(arc, caps))
+
+    for source in sources:
+        dfs(source, gd.vertices[source].source_offset_ps)
+    return best
+
+
+@pytest.fixture()
+def analyzed_diamond(library):
+    circuit = diamond_circuit(library)
+    gd = GlobalDelayGraph.build(circuit)
+    src = gd.vertex_of(circuit.external_pin("din")).index
+    snk = gd.vertex_of(circuit.external_pin("dout")).index
+    cg = build_constraint_graph(
+        gd, PathConstraint("p", frozenset([src]), frozenset([snk]), 500)
+    )
+    return circuit, gd, cg
+
+
+class TestForwardBackward:
+    def test_matches_brute_force_zero_caps(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, WireCaps.zero())
+        assert timing.worst_delay_ps == pytest.approx(
+            brute_force_worst(gd, cg, WireCaps.zero())
+        )
+
+    def test_matches_brute_force_random_caps(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        rng = random.Random(3)
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        for _ in range(20):
+            caps = WireCaps(
+                {net.name: rng.uniform(0, 1) for net in circuit.nets}
+            )
+            timing = analyzer.analyze_constraint(cg, caps)
+            assert timing.worst_delay_ps == pytest.approx(
+                brute_force_worst(gd, cg, caps)
+            )
+
+    def test_margin_definition(self, analyzed_diamond):
+        _, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, WireCaps.zero())
+        assert timing.margin_ps == pytest.approx(
+            cg.limit_ps - timing.worst_delay_ps
+        )
+        assert not timing.violated
+
+    def test_violation_flag(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        heavy = WireCaps({net.name: 50.0 for net in circuit.nets})
+        assert analyzer.analyze_constraint(cg, heavy).violated
+
+    def test_lp_plus_lq_bounded_by_worst(self, analyzed_diamond):
+        _, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, WireCaps.zero())
+        lq = analyzer.backward_longest(cg, WireCaps.zero())
+        for pos in range(len(cg.topo)):
+            if timing.lp[pos] == float("-inf") or lq[pos] == float("-inf"):
+                continue
+            assert (
+                timing.lp[pos] + lq[pos]
+                <= timing.worst_delay_ps + 1e-9
+            )
+
+    def test_critical_path_is_consistent(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        caps = WireCaps({"n_b": 2.0})  # bias the b-branch
+        timing = analyzer.analyze_constraint(cg, caps)
+        path_delay = sum(
+            arc_delay_ps(cg.arcs[i], caps)
+            for i in timing.critical_arc_positions
+        )
+        first_arc = cg.arcs[timing.critical_arc_positions[0]]
+        offset = gd.vertices[first_arc.tail].source_offset_ps
+        assert offset + path_delay == pytest.approx(timing.worst_delay_ps)
+        assert "n_b" in {n.name for n in timing.critical_nets()}
+
+    def test_arcs_connect_along_critical_path(self, analyzed_diamond):
+        _, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, WireCaps.zero())
+        arcs = [cg.arcs[i] for i in timing.critical_arc_positions]
+        for a, b in zip(arcs, arcs[1:]):
+            assert a.head == b.tail
+
+
+class TestGraphCriticalDelay:
+    def test_includes_launch_offsets(self, library):
+        c = Circuit("ff", library)
+        clk = c.add_external_pin("clk", TerminalDirection.INPUT)
+        dout = c.add_external_pin("dout", TerminalDirection.OUTPUT)
+        ff = c.add_cell("ff", "DFF")
+        c.connect(c.add_net("nc").name, clk, ff.terminal("CLK"))
+        c.connect(c.add_net("nq").name, ff.terminal("Q"), dout)
+        gd = GlobalDelayGraph.build(c)
+        analyzer = StaticTimingAnalyzer(gd)
+        delay = analyzer.graph_critical_delay(WireCaps.zero())
+        # Q offset (65) + pad load term through the nq arc
+        assert delay >= 65.0
+
+    def test_monotone_in_caps(self, analyzed_diamond):
+        circuit, gd, _ = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd)
+        base = analyzer.graph_critical_delay(WireCaps.zero())
+        loaded = analyzer.graph_critical_delay(
+            WireCaps({net.name: 1.0 for net in circuit.nets})
+        )
+        assert loaded > base
+
+
+class TestNetSlacks:
+    def test_unconstrained_nets_absent(self, analyzed_diamond):
+        _, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        slacks = analyzer.net_slacks(WireCaps.zero())
+        assert set(slacks) == {"n_in", "n_a", "n_b", "n_c", "n_d"}
+
+    def test_critical_net_has_smallest_slack(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        caps = WireCaps({"n_b": 1.0})
+        slacks = analyzer.net_slacks(caps)
+        assert slacks["n_b"] == min(slacks.values())
+
+    def test_slack_equals_margin_on_critical_net(self, analyzed_diamond):
+        _, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, WireCaps.zero())
+        slacks = analyzer.net_slacks(WireCaps.zero())
+        assert min(slacks.values()) == pytest.approx(timing.margin_ps)
+
+    def test_criticality_order(self, analyzed_diamond):
+        circuit, gd, cg = analyzed_diamond
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        caps = WireCaps({"n_b": 1.0})
+        ordered = net_criticality_order(
+            analyzer, circuit.routable_nets, caps
+        )
+        names = [n.name for n in ordered]
+        # Every critical-path net (tied minimal slack) precedes the
+        # off-path branch n_c.
+        assert names.index("n_b") < names.index("n_c")
+        assert names.index("n_a") < names.index("n_c")
+
+
+class TestWireCaps:
+    def test_defaults_to_zero(self, library):
+        circuit = diamond_circuit(library)
+        caps = WireCaps()
+        assert caps.get(circuit.net("n_a")) == 0.0
+
+    def test_set_get_copy(self, library):
+        circuit = diamond_circuit(library)
+        caps = WireCaps()
+        caps.set(circuit.net("n_a"), 0.5)
+        clone = caps.copy()
+        caps.set(circuit.net("n_a"), 0.9)
+        assert clone.get(circuit.net("n_a")) == 0.5
+        assert caps.get_name("n_a") == 0.9
+
+    def test_negative_raises(self, library):
+        circuit = diamond_circuit(library)
+        import repro.errors as errors
+
+        with pytest.raises(errors.TimingError):
+            WireCaps().set(circuit.net("n_a"), -1.0)

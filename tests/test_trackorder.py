@@ -1,0 +1,120 @@
+"""Tests for the track-order optimization post-pass."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import route_chain
+from repro import Technology, route_channels
+from repro.channelrouter.leftedge import (
+    ChannelSegment,
+    route_channel,
+)
+from repro.channelrouter.trackorder import (
+    _vertical_cost,
+    optimize_all_channels,
+    optimize_track_order,
+)
+from repro.geometry import Interval
+
+
+def seg(net, lo, hi, top=(), bottom=()):
+    return ChannelSegment(
+        net_name=net,
+        interval=Interval(lo, hi),
+        attach_top=list(top),
+        attach_bottom=list(bottom),
+    )
+
+
+class TestOptimizeTrackOrder:
+    def test_top_heavy_track_floats_up(self):
+        # Two disjoint-by-track nets: "toppy" has only top pins, "bot"
+        # only bottom pins; left-edge may order them either way, the
+        # optimizer must end with toppy above bot.
+        toppy = seg("toppy", 0, 6, top=[1, 3, 5])
+        bot = seg("bot", 0, 6, bottom=[0, 2, 4])
+        result = route_channel(0, [bot, toppy], {})
+        optimize_track_order(result)
+        track = {s.net_name: s.track for s in result.segments}
+        assert track["toppy"] < track["bot"]
+
+    def test_constraints_respected(self):
+        # bot must stay below toppy's... give an explicit constraint the
+        # pull would like to violate: 'a' is bottom-heavy but must stay
+        # ABOVE 'b' (a top pin of a meets a bottom pin of b at column 3).
+        a = seg("a", 0, 6, top=[3], bottom=[0, 2, 4, 5])
+        b = seg("b", 0, 6, top=[1], bottom=[3])
+        result = route_channel(0, [a, b], {})
+        optimize_track_order(result)
+        track = {s.net_name: s.track for s in result.segments}
+        assert track["a"] < track["b"]
+
+    def test_single_track_noop(self):
+        result = route_channel(0, [seg("a", 0, 3)], {})
+        stats = optimize_track_order(result)
+        assert stats.moved_tracks == 0
+        assert stats.pull_improvement == 0.0
+
+    def test_never_increases_cost(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            segments = []
+            for i in range(rng.randint(2, 8)):
+                lo = rng.randint(0, 20)
+                hi = lo + rng.randint(1, 8)
+                columns = list(range(lo, hi + 1))
+                tops = rng.sample(columns, rng.randint(0, 2))
+                bottoms = rng.sample(columns, rng.randint(0, 2))
+                segments.append(
+                    seg(f"n{i}", lo, hi, tops, bottoms)
+                )
+            result = route_channel(0, segments, {})
+            members = {}
+            for segment in result.segments:
+                members.setdefault(segment.track, []).append(segment)
+            before = _vertical_cost(members, result.tracks)
+            stats = optimize_track_order(result)
+            members_after = {}
+            for segment in result.segments:
+                members_after.setdefault(segment.track, []).append(
+                    segment
+                )
+            after = _vertical_cost(members_after, result.tracks)
+            assert after <= before + 1e-9
+            assert stats.pull_improvement == pytest.approx(
+                before - after
+            )
+
+    def test_track_count_preserved(self):
+        segments = [
+            seg("a", 0, 4, top=[1]),
+            seg("b", 2, 8, bottom=[5]),
+            seg("c", 6, 12, top=[9]),
+        ]
+        result = route_channel(0, segments, {})
+        tracks_before = result.tracks
+        mates_before = {}
+        for segment in result.segments:
+            mates_before.setdefault(segment.track, set()).add(
+                segment.net_name
+            )
+        optimize_track_order(result)
+        assert result.tracks == tracks_before
+        mates_after = {}
+        for segment in result.segments:
+            mates_after.setdefault(segment.track, set()).add(
+                segment.net_name
+            )
+        # Same grouping, possibly renumbered.
+        assert sorted(
+            frozenset(v) for v in mates_before.values()
+        ) == sorted(frozenset(v) for v in mates_after.values())
+
+    def test_whole_chip_pass(self, library):
+        circuit, placement, constraints, result = route_chain(library)
+        channel_result = route_channels(result, placement, Technology())
+        stats = optimize_all_channels(channel_result.channels)
+        assert len(stats) == placement.n_channels
+        assert all(s.pull_improvement >= -1e-9 for s in stats)

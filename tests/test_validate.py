@@ -1,0 +1,83 @@
+"""Tests for repro.netlist.validate."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, TerminalDirection, validate_circuit
+from repro.netlist.validate import collect_issues
+
+
+def complete_circuit(library):
+    c = Circuit("ok", library)
+    pin_in = c.add_external_pin("i", TerminalDirection.INPUT)
+    pin_out = c.add_external_pin("o", TerminalDirection.OUTPUT)
+    g = c.add_cell("g", "INV1")
+    c.connect(c.add_net("n1").name, pin_in, g.terminal("I0"))
+    c.connect(c.add_net("n2").name, g.terminal("O"), pin_out)
+    return c
+
+
+class TestValidate:
+    def test_valid_circuit_passes(self, library):
+        validate_circuit(complete_circuit(library))
+
+    def test_collect_issues_empty_for_valid(self, library):
+        assert collect_issues(complete_circuit(library)) == []
+
+    def test_dangling_terminal_detected(self, library):
+        c = complete_circuit(library)
+        c.add_cell("lonely", "INV1")
+        issues = collect_issues(c)
+        assert any("lonely.I0" in i for i in issues)
+        assert any("lonely.O" in i for i in issues)
+        with pytest.raises(NetlistError):
+            validate_circuit(c)
+
+    def test_dangling_external_pin_detected(self, library):
+        c = complete_circuit(library)
+        c.add_external_pin("float", TerminalDirection.INPUT)
+        assert any("float" in i for i in collect_issues(c))
+
+    def test_single_pin_net_detected(self, library):
+        c = complete_circuit(library)
+        g2 = c.add_cell("g2", "INV1")
+        c.connect(c.add_net("n3").name, g2.terminal("O"))
+        # g2.I0 dangles and n3 has one pin.
+        issues = collect_issues(c)
+        assert any("fewer than 2 pins" in i for i in issues)
+
+    def test_sourceless_net_detected(self, library):
+        c = complete_circuit(library)
+        g2 = c.add_cell("g2", "NOR2")
+        g3 = c.add_cell("g3", "NOR2")
+        c.connect(c.add_net("bad").name, g2.terminal("I0"), g3.terminal("I0"))
+        issues = collect_issues(c)
+        assert any("sources" in i for i in issues)
+
+    def test_error_lists_all_problems(self, library):
+        c = complete_circuit(library)
+        c.add_cell("lonely", "INV1")
+        c.add_external_pin("float", TerminalDirection.INPUT)
+        with pytest.raises(NetlistError) as err:
+            validate_circuit(c)
+        message = str(err.value)
+        assert "lonely" in message
+        assert "float" in message
+
+    def test_differential_source_cells_must_match(self, library):
+        c = Circuit("d", library)
+        d1 = c.add_cell("d1", "DIFFBUF")
+        d2 = c.add_cell("d2", "DIFFBUF")
+        r = c.add_cell("r", "NOR2")
+        pin = c.add_external_pin("i", TerminalDirection.INPUT)
+        c.connect(c.add_net("ni").name, pin, d1.terminal("I0"))
+        # feed d2 input as well
+        pin2 = c.add_external_pin("i2", TerminalDirection.INPUT)
+        c.connect(c.add_net("ni2").name, pin2, d2.terminal("I0"))
+        p = c.add_net("p")
+        n = c.add_net("n")
+        c.connect("p", d1.terminal("OP"), r.terminal("I0"))
+        c.connect("n", d2.terminal("ON"), r.terminal("I1"))
+        c.make_differential_pair(p, n)
+        issues = collect_issues(c)
+        assert any("different cells" in i for i in issues)

@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.wirestats."""
+
+import pytest
+
+from conftest import route_chain
+from repro import Technology
+from repro.analysis.wirestats import NetLengthStat, WireStats, wire_stats
+
+
+@pytest.fixture()
+def stats(library):
+    circuit, placement, constraints, result = route_chain(library)
+    return wire_stats(circuit, placement, result), result
+
+
+@pytest.fixture()
+def signoff_stats(library):
+    from repro import route_channels, sign_off
+
+    circuit, placement, constraints, result = route_chain(library)
+    channel_result = route_channels(result, placement, Technology())
+    report = sign_off(
+        circuit, placement, result, channel_result, constraints,
+        Technology(),
+    )
+    return (
+        wire_stats(
+            circuit, placement, result,
+            net_lengths_um=report.net_length_um,
+        ),
+        result,
+    )
+
+
+class TestWireStats:
+    def test_covers_every_route(self, stats):
+        collected, result = stats
+        assert {s.net_name for s in collected.per_net} == set(
+            result.routes
+        )
+
+    def test_signoff_lengths_at_least_hpwl(self, signoff_stats):
+        # Only the final (post-channel-routing) lengths include the
+        # in-channel verticals the HPWL bound accounts for.
+        collected, _ = signoff_stats
+        for stat in collected.per_net:
+            assert stat.routed_um >= stat.hpwl_um - 1e-6
+            assert stat.excess_over_hpwl >= 1.0 - 1e-9
+
+    def test_totals(self, stats):
+        collected, result = stats
+        assert collected.total_routed_um == pytest.approx(
+            sum(r.total_length_um for r in result.routes.values())
+        )
+        assert collected.overall_excess > 0.0
+
+    def test_percentiles_monotone(self, stats):
+        collected, _ = stats
+        p25 = collected.percentile_length_um(0.25)
+        p50 = collected.percentile_length_um(0.5)
+        p90 = collected.percentile_length_um(0.9)
+        assert p25 <= p50 <= p90
+        with pytest.raises(ValueError):
+            collected.percentile_length_um(1.5)
+
+    def test_worst_excess_sorted(self, stats):
+        collected, _ = stats
+        worst = collected.worst_excess(4)
+        ratios = [s.excess_over_hpwl for s in worst]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_histogram_partitions_nets(self, stats):
+        collected, _ = stats
+        bins = collected.histogram(bins=5)
+        assert sum(count for _, _, count in bins) == len(
+            collected.per_net
+        )
+        for lo, hi, _ in bins:
+            assert hi >= lo
+        with pytest.raises(ValueError):
+            collected.histogram(bins=0)
+
+    def test_summary_text(self, stats):
+        collected, _ = stats
+        text = collected.summary()
+        assert "nets, total" in text
+        assert "median length" in text
+        assert "worst:" in text
+
+    def test_override_lengths(self, library):
+        circuit, placement, constraints, result = route_chain(library)
+        name = next(iter(result.routes))
+        overridden = wire_stats(
+            circuit, placement, result,
+            net_lengths_um={name: 99999.0},
+        )
+        stat = next(
+            s for s in overridden.per_net if s.net_name == name
+        )
+        assert stat.routed_um == 99999.0
+
+    def test_empty_stats(self):
+        empty = WireStats([])
+        assert empty.total_routed_um == 0.0
+        assert empty.overall_excess == 1.0
+        assert empty.histogram() == []
+        assert empty.percentile_length_um(0.5) == 0.0
+
+    def test_zero_hpwl_excess_defined(self):
+        stat = NetLengthStat("n", 5.0, 0.0, 0.0)
+        assert stat.excess_over_hpwl == 1.0
