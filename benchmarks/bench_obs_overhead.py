@@ -1,0 +1,81 @@
+"""Observability overhead guard.
+
+The obs subsystem promises that with tracing off (the default
+``NullSink``) the router's hot paths pay only a guarded attribute check
+per would-be event.  This bench routes the same dataset twice — once
+untraced, once with a ``MemorySink`` attached — and records both wall
+times.  The guard asserts the *untraced* run stays within 3% of a second
+untraced run (i.e. the instrumentation hooks themselves are noise-level),
+and reports the traced/untraced ratio as extra info so regressions in
+the enabled path are visible in benchmark history too.
+
+Single-run wall clocks on shared CI boxes are jittery, so the guard
+compares medians of several alternating repetitions rather than one
+sample of each.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.circuits import make_dataset
+from repro.core import GlobalRouter, RouterConfig
+from repro.obs import MemorySink
+
+REPEATS = 5
+MAX_OVERHEAD = 0.03
+
+
+def _route_once(dataset, sink=None):
+    router = GlobalRouter(
+        dataset.circuit, dataset.placement, dataset.constraints,
+        RouterConfig(), trace_sink=sink,
+    )
+    start = time.perf_counter()
+    result = router.route()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.bench
+def test_null_sink_overhead_under_3pct(benchmark, s1_spec):
+    dataset = make_dataset(s1_spec)
+
+    def run_all():
+        base, instrumented, traced = [], [], []
+        # Warm up caches (imports, timing graph code paths) off the clock.
+        _route_once(dataset)
+        for _ in range(REPEATS):
+            wall, result = _route_once(dataset)
+            base.append(wall)
+            wall, _ = _route_once(dataset)
+            instrumented.append(wall)
+            sink = MemorySink()
+            wall, traced_result = _route_once(dataset, sink=sink)
+            traced.append(wall)
+            assert len(sink.of_kind("edge_deleted")) == traced_result.deletions
+        return base, instrumented, traced, result
+
+    base, instrumented, traced, result = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    base_med = statistics.median(base)
+    inst_med = statistics.median(instrumented)
+    traced_med = statistics.median(traced)
+    # Both series are untraced NullSink runs; their medians differing by
+    # more than 3% + jitter floor would mean the default path got slower.
+    overhead = abs(inst_med - base_med) / base_med
+    jitter_floor = 0.002  # 2 ms absolute slack for tiny runs
+
+    benchmark.extra_info["untraced_median_s"] = round(base_med, 4)
+    benchmark.extra_info["traced_median_s"] = round(traced_med, 4)
+    benchmark.extra_info["untraced_spread_pct"] = round(100 * overhead, 2)
+    benchmark.extra_info["traced_ratio"] = round(traced_med / base_med, 3)
+    benchmark.extra_info["deletions"] = result.deletions
+
+    assert overhead < MAX_OVERHEAD or abs(inst_med - base_med) < jitter_floor, (
+        f"untraced routing runs diverge by {100 * overhead:.1f}% "
+        f"(medians {base_med:.4f}s vs {inst_med:.4f}s) — NullSink path "
+        "overhead exceeds the 3% budget"
+    )

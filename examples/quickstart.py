@@ -6,16 +6,21 @@ Walks the full public API surface in ~80 lines:
 1. instantiate the ECL cell library and describe a netlist,
 2. place it into standard-cell rows (feed cells included),
 3. state one critical-path constraint,
-4. run the global router, then the channel router,
-5. print the signed-off delay / area / length report.
+4. run the global router with an in-memory trace attached, then the
+   channel router,
+5. print the signed-off delay / area / length report plus a peek at the
+   router's decision trace.
 
 Run:  python examples/quickstart.py
 """
+
+from collections import Counter
 
 from repro import (
     Circuit,
     GlobalDelayGraph,
     GlobalRouter,
+    MemorySink,
     PathConstraint,
     PinSide,
     PlacerConfig,
@@ -92,13 +97,25 @@ def main() -> None:
         limit_ps=1000.0,
     )
 
+    # Attach an in-memory trace sink to watch the router decide.  For a
+    # file on disk use the CLI:  repro route ... --trace run.jsonl
+    trace = MemorySink()
     router = GlobalRouter(
         circuit, placement, [constraint],
         RouterConfig(technology=technology),
+        trace_sink=trace,
     )
     global_result = router.route()
     print()
     print(global_result.summary())
+
+    deleted = trace.of_kind("edge_deleted")
+    assert len(deleted) == global_result.deletions
+    criteria = Counter(e.data["criterion"] for e in deleted)
+    print()
+    print(f"trace: {len(trace)} events; deletions by winning criterion:")
+    for criterion, count in criteria.most_common():
+        print(f"  {criterion:<14} {count}")
 
     channel_result = route_channels(global_result, placement, technology)
     report = sign_off(

@@ -106,6 +106,19 @@ from .analysis import (
     sign_off,
     wire_stats,
 )
+from .obs import (
+    JsonlTraceSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    PhaseProfiler,
+    RunManifest,
+    TraceEvent,
+    Tracer,
+    build_run_manifest,
+    read_trace,
+    summarize_trace,
+)
 from .bench import (
     CircuitSpec,
     Dataset,
@@ -223,4 +236,16 @@ __all__ = [
     "run_suite",
     "small_suite",
     "standard_suite",
+    # obs
+    "JsonlTraceSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PhaseProfiler",
+    "RunManifest",
+    "TraceEvent",
+    "Tracer",
+    "build_run_manifest",
+    "read_trace",
+    "summarize_trace",
 ]

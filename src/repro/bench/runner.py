@@ -4,8 +4,9 @@ paper's Table 2) plus the HPWL lower bound (Table 3)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.signoff import SignoffReport, sign_off
 from ..baselines.lower_bound import critical_path_lower_bound_ps
@@ -14,13 +15,23 @@ from ..core.config import RouterConfig
 from ..layout.floorplan import assign_external_pins
 from ..core.router import GlobalRouter
 from ..core.result import GlobalRoutingResult
+from ..obs.events import TraceSink, Tracer
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
 from ..tech import Technology
 from .circuits import Dataset, DatasetSpec, make_dataset
 
 
 @dataclass
 class RunRecord:
-    """One row of raw results (one dataset, one routing mode)."""
+    """One row of raw results (one dataset, one routing mode).
+
+    Scalar columns are exported everywhere — JSON, tables, CSV — in the
+    single canonical order given by :meth:`fields` (declaration order
+    plus the derived ``gap_to_bound_pct``); ``metrics`` is the run's
+    observability snapshot and is exported as a nested mapping, never as
+    a column.
+    """
 
     dataset: str
     constrained: bool
@@ -37,6 +48,7 @@ class RunRecord:
     feed_cells_inserted: int
     deletions: int
     reroutes: int
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def gap_to_bound_pct(self) -> float:
@@ -45,17 +57,37 @@ class RunRecord:
             return 0.0
         return 100.0 * (self.delay_ps - self.lower_bound_ps) / self.lower_bound_ps
 
+    @classmethod
+    def fields(cls) -> Tuple[str, ...]:
+        """Canonical scalar export order (single source of truth for
+        :func:`repro.io.json_report.run_record_to_dict` and any tabular
+        export)."""
+        names = tuple(
+            f.name for f in dataclasses.fields(cls) if f.name != "metrics"
+        )
+        return names + ("gap_to_bound_pct",)
+
+    def to_row(self) -> Dict[str, Any]:
+        """Scalar columns as an ordered dict, following :meth:`fields`."""
+        return {name: getattr(self, name) for name in self.fields()}
+
 
 def run_dataset(
     spec: DatasetSpec,
     constrained: bool = True,
     technology: Technology = Technology(),
     config: Optional[RouterConfig] = None,
+    *,
+    trace_sink: Optional[TraceSink] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Tuple[RunRecord, GlobalRoutingResult, SignoffReport, Dataset]:
     """Route one dataset in one mode and return all artifacts.
 
     A fresh netlist/placement is materialized per run (routing mutates the
-    placement via feed-cell insertion, so runs must not share one).
+    placement via feed-cell insertion, so runs must not share one).  Each
+    run gets its own metrics registry; its flattened snapshot rides along
+    on ``RunRecord.metrics``.  Pass ``trace_sink`` to capture the run's
+    structured event stream and ``profiler`` to share a phase profiler.
     """
     dataset = make_dataset(spec, technology)
     if config is None:
@@ -64,6 +96,9 @@ def run_dataset(
         config = config.unconstrained()
     constraints = dataset.constraints
 
+    metrics = MetricsRegistry()
+    tracer = Tracer.of(trace_sink)
+
     # Pins must have boundary columns before HPWL boxes can be measured;
     # the router's own assignment pass is a no-op for assigned pins.
     assign_external_pins(dataset.circuit, dataset.placement)
@@ -71,11 +106,13 @@ def run_dataset(
         dataset.circuit, dataset.placement, technology
     )
     router = GlobalRouter(
-        dataset.circuit, dataset.placement, constraints, config
+        dataset.circuit, dataset.placement, constraints, config,
+        trace_sink=tracer, metrics=metrics, profiler=profiler,
     )
     global_result = router.route()
     channel_result = route_channels(
-        global_result, dataset.placement, technology
+        global_result, dataset.placement, technology,
+        metrics=metrics, tracer=tracer,
     )
     report = sign_off(
         dataset.circuit,
@@ -108,6 +145,7 @@ def run_dataset(
         feed_cells_inserted=global_result.feed_cells_inserted,
         deletions=global_result.deletions,
         reroutes=global_result.reroutes,
+        metrics=metrics.flat(),
     )
     return record, global_result, report, dataset
 

@@ -1,4 +1,12 @@
-"""Text formatting of the paper's tables from :class:`RunRecord` pairs."""
+"""Text formatting of the paper's tables from :class:`RunRecord` pairs.
+
+Column vocabulary: every column printed here is a scalar field of
+:class:`RunRecord`, shown in the record's canonical
+:meth:`RunRecord.fields` order (Table 2 prints the ``delay_ps``,
+``area_mm2``, ``length_mm``, ``cpu_s`` slice; Table 3 the
+``lower_bound_ps`` / ``gap_to_bound_pct`` slice).  JSON/CSV exports use
+the same source of truth via :func:`repro.io.json_report.run_record_to_dict`.
+"""
 
 from __future__ import annotations
 

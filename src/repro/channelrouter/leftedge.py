@@ -245,12 +245,20 @@ def route_channels(
     placement: Placement,
     technology: Technology = Technology(),
     optimize_tracks: bool = True,
+    *,
+    metrics=None,
+    tracer=None,
 ) -> ChannelRoutingResult:
     """Channel-route every channel of a global routing result.
 
     ``optimize_tracks`` runs the track-order post-pass
     (:mod:`repro.channelrouter.trackorder`) on each channel before the
     vertical stub lengths are measured.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
+    ``tracer`` (a :class:`~repro.obs.events.Tracer`) are optional
+    observability hooks: per-channel ``channel_routed`` events and
+    chip-wide track/break counters.
     """
     per_channel_segments: Dict[int, List[ChannelSegment]] = {}
     per_channel_throughs: Dict[int, Dict[str, List[int]]] = {}
@@ -271,6 +279,30 @@ def route_channels(
         from .trackorder import optimize_all_channels
 
         optimize_all_channels(channels)
+
+    if metrics is not None:
+        metrics.counter("channel.tracks_total").inc(
+            sum(r.tracks for r in channels.values())
+        )
+        metrics.counter("channel.constraint_breaks").inc(
+            sum(r.constraint_breaks for r in channels.values())
+        )
+        metrics.counter("channel.pin_conflicts").inc(
+            sum(r.pin_conflicts for r in channels.values())
+        )
+        metrics.counter("channel.dogleg_splits").inc(
+            sum(r.dogleg_splits for r in channels.values())
+        )
+    if tracer is not None and tracer.enabled:
+        for channel in sorted(channels):
+            channel_result = channels[channel]
+            tracer.emit(
+                "channel_routed",
+                channel=channel,
+                tracks=channel_result.tracks,
+                constraint_breaks=channel_result.constraint_breaks,
+                dogleg_splits=channel_result.dogleg_splits,
+            )
 
     net_vertical = _vertical_lengths(channels, technology)
     return ChannelRoutingResult(

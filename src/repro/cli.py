@@ -9,12 +9,17 @@ Installed as ``repro-router``.  Subcommands:
     file is given, and print (or JSON-dump) the signed-off report.
 ``generate``
     Emit a synthetic benchmark netlist (and optional placement) to disk.
+``trace``
+    Inspect a JSONL run trace (``trace summarize out.jsonl`` prints the
+    per-phase time and winning-criterion breakdown).
 
 Examples::
 
     repro-router tables --suite small
     repro-router generate demo --gates 60 --out demo.rnl --placement-out demo.rpl
     repro-router route demo.rnl --placement demo.rpl --constraints 6
+    repro-router route demo.rnl --constraints 6 --trace out.jsonl --metrics
+    repro-router trace summarize out.jsonl
 """
 
 from __future__ import annotations
@@ -113,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full routing report (wires, channels, skew, "
         "critical paths)",
     )
+    route.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="write a structured JSONL event trace of the run "
+        "(inspect with 'repro-router trace summarize PATH')",
+    )
+    route.add_argument(
+        "--metrics", action="store_true",
+        help="print the run's metrics registry and per-phase profile",
+    )
+    route.add_argument(
+        "--manifest", type=Path, default=None, metavar="PATH",
+        help="write a machine-readable run manifest (config, dataset, "
+        "source revision, final metrics); with --json, a manifest is "
+        "written alongside the report automatically",
+    )
 
     generate = sub.add_parser(
         "generate", help="emit a synthetic benchmark netlist"
@@ -133,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("old", type=Path)
     compare.add_argument("new", type=Path)
+
+    trace = sub.add_parser("trace", help="inspect a JSONL run trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time and winning-criterion breakdown",
+    )
+    summarize.add_argument("path", type=Path)
     return parser
 
 
@@ -147,6 +175,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -218,9 +248,31 @@ def _cmd_route(args) -> int:
     )
     if args.unconstrained:
         config = config.unconstrained()
-    router = GlobalRouter(circuit, placement, constraints, config)
-    global_result = router.route()
-    channel_result = route_channels(global_result, placement, technology)
+
+    from .obs import (
+        JsonlTraceSink,
+        MetricsRegistry,
+        PhaseProfiler,
+        Tracer,
+        build_run_manifest,
+    )
+
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    sink = JsonlTraceSink(args.trace) if args.trace is not None else None
+    tracer = Tracer.of(sink)
+    try:
+        router = GlobalRouter(
+            circuit, placement, constraints, config,
+            trace_sink=tracer, metrics=metrics, profiler=profiler,
+        )
+        global_result = router.route()
+        channel_result = route_channels(
+            global_result, placement, technology,
+            metrics=metrics, tracer=tracer,
+        )
+    finally:
+        tracer.close()
     report = sign_off(
         circuit, placement, global_result, channel_result,
         constraints, technology, gd=router.gd,
@@ -255,6 +307,14 @@ def _cmd_route(args) -> int:
                 print(f"  VIOLATION: {violation}")
             return 1
         print("  verifier: clean")
+    if args.trace is not None:
+        print(f"  wrote trace {args.trace} ({sink.emitted} events)")
+    if args.metrics:
+        print()
+        print("metrics:")
+        print(metrics.format())
+        print()
+        print(profiler.format())
     if args.json is not None:
         payload = {
             "global": global_result_to_dict(global_result),
@@ -262,6 +322,27 @@ def _cmd_route(args) -> int:
         }
         write_json_report(payload, args.json)
         print(f"  wrote {args.json}")
+    manifest_path = args.manifest
+    if manifest_path is None and args.json is not None:
+        manifest_path = args.json.with_suffix(".manifest.json")
+    if manifest_path is not None:
+        manifest = build_run_manifest(
+            config=config,
+            dataset={
+                "netlist": str(args.netlist),
+                "placement": (
+                    str(args.placement) if args.placement else None
+                ),
+                "circuit": circuit.name,
+                "nets": len(circuit.routable_nets),
+                "constraints": len(constraints),
+            },
+            result=global_result,
+            metrics=metrics,
+            profiler=profiler,
+        )
+        manifest.write(manifest_path)
+        print(f"  wrote manifest {manifest_path}")
     return 0
 
 
@@ -288,6 +369,21 @@ def _cmd_generate(args) -> int:
         args.placement_out.write_text(write_placement(placement))
         print(f"wrote {args.placement_out} ({placement.n_rows} rows)")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import read_trace, summarize_trace
+
+    if args.trace_command == "summarize":
+        try:
+            events = read_trace(args.path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read trace {args.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(summarize_trace(events))
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_compare(args) -> int:

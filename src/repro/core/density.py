@@ -86,6 +86,11 @@ class DensityEngine:
         ]
         self.version = [0] * n_channels
         self._stats_cache: Dict[int, ChannelStats] = {}
+        # Plain-int telemetry: profile updates vs. stats recomputes
+        # without putting any instrument call on this hot path.  The
+        # router copies these into its metrics registry at run end.
+        self.updates = 0
+        self.stats_recomputes = 0
 
     # ------------------------------------------------------------------
     # Updates
@@ -126,6 +131,7 @@ class DensityEngine:
                 "add/remove"
             )
         self.version[channel] += 1
+        self.updates += 1
         self._stats_cache.pop(channel, None)
 
     # ------------------------------------------------------------------
@@ -137,6 +143,7 @@ class DensityEngine:
         cached = self._stats_cache.get(channel)
         if cached is not None:
             return cached
+        self.stats_recomputes += 1
         dM = self.d_max[channel]
         dm = self.d_min[channel]
         c_max = int(dM.max())

@@ -52,6 +52,10 @@ def recover_violations(router: "GlobalRouter") -> int:
     remaining = sum(
         1 for t in router._ensure_timings().values() if t.violated
     )
+    router.metrics.counter("improve.recover_attempts").inc(attempts)
+    router.metrics.gauge("improve.violations_remaining").set(
+        float(remaining)
+    )
     router._log(
         "recover_violate",
         f"{attempts} reroutes, {remaining} violations remain",
@@ -74,6 +78,7 @@ def improve_delay(router: "GlobalRouter") -> int:
                 rerouted.add(net.name)
                 attempts += 1
                 router.reroute_net(net.name, SelectionMode.TIMING)
+    router.metrics.counter("improve.delay_attempts").inc(attempts)
     router._log("improve_delay", f"{attempts} reroutes", float(attempts))
     return attempts
 
@@ -88,6 +93,7 @@ def improve_area(router: "GlobalRouter") -> int:
         for net_name in targets[: router.config.area_nets_per_pass]:
             attempts += 1
             router.reroute_net(net_name, SelectionMode.AREA)
+    router.metrics.counter("improve.area_attempts").inc(attempts)
     router._log("improve_area", f"{attempts} reroutes", float(attempts))
     return attempts
 

@@ -16,12 +16,21 @@ Flow (line numbers refer to the paper's Algorithm Global_Router):
 Everything the criteria need is cached with version stamps: per-channel
 density versions, a global timing version, and per-net graph state, so
 the selection loop recomputes only keys invalidated by the last deletion.
+
+Observability: the router emits structured trace events (``run_start``,
+``phase_start/end``, ``edge_deleted`` with the winning criterion,
+``reroute``, ``violation_found/cleared``, ``feed_cell_inserted``) through
+a :class:`~repro.obs.events.Tracer`, counts into a
+:class:`~repro.obs.metrics.MetricsRegistry`, and times every Fig. 2 phase
+with a :class:`~repro.obs.profile.PhaseProfiler`.  All three default to
+no-ops (``NULL_SINK`` tracing is one attribute check), so an
+uninstrumented route costs what it always did.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..bipolar.differential import (
     PairCorrespondence,
@@ -35,6 +44,9 @@ from ..layout.floorplan import Floorplan, assign_external_pins
 from ..layout.placement import Placement
 from ..netlist.circuit import Circuit, ExternalPin, Net, Terminal
 from ..netlist.validate import validate_circuit
+from ..obs.events import TraceSink, Tracer
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
 from ..routegraph.build import build_routing_graph
 from ..routegraph.graph import EdgeKind, RouteEdge, RoutingGraph
 from ..routegraph.tentative_tree import ESTIMATORS, TentativeTree
@@ -62,7 +74,7 @@ from .result import (
     PhaseEvent,
     RoutedEdge,
 )
-from .selection import SelectionMode, selection_key
+from .selection import SelectionMode, selection_key, winning_criterion
 
 
 class _NetState:
@@ -105,6 +117,10 @@ class GlobalRouter:
         placement: Placement,
         constraints: Sequence[PathConstraint] = (),
         config: RouterConfig = RouterConfig(),
+        *,
+        trace_sink: Optional[TraceSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ):
         self.circuit = circuit
         self.placement = placement
@@ -134,6 +150,18 @@ class GlobalRouter:
         self._timing_version = 0
         self._routed = False
 
+        # Observability (all default to no-ops).
+        self.tracer = Tracer.of(trace_sink)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self._m_deletions = self.metrics.counter("router.deletions")
+        self._m_reroutes = self.metrics.counter("router.reroutes")
+        self._m_reverted = self.metrics.counter("router.reroutes_reverted")
+        self._m_timing = self.metrics.counter("router.timing_analyses")
+        self._phase_stack: List[str] = []
+        self._last_selection: Tuple[str, int] = ("unknown", -1)
+        self._violated_names: frozenset = frozenset()
+
     # ==================================================================
     # Top level
     # ==================================================================
@@ -142,35 +170,97 @@ class GlobalRouter:
         if self._routed:
             raise RoutingError("route() may only be called once")
         self._routed = True
-        start = time.perf_counter()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "run_start",
+                circuit=self.circuit.name,
+                nets=len(self.circuit.routable_nets),
+                cells=len(self.circuit.logic_cells),
+                constraints=len(self.constraints),
+                timing_driven=self.config.timing_driven,
+            )
 
-        validate_circuit(self.circuit)
-        self._log("setup", "validated netlist")
-        self._build_timing()
-        self._assign_pins_and_feedthroughs()
-        self._build_routing_graphs()
-        self._init_density_and_trees()
+        with self.profiler.phase("route"):
+            with self._phase_scope("setup"):
+                validate_circuit(self.circuit)
+                self._log("setup", "validated netlist")
+                with self._phase_scope("timing"):
+                    self._build_timing()
+                with self._phase_scope("assignment"):
+                    self._assign_pins_and_feedthroughs()
+                with self._phase_scope("graphs"):
+                    self._build_routing_graphs()
+                with self._phase_scope("density"):
+                    self._init_density_and_trees()
 
-        self._log("initial", "edge-deletion loop starts")
-        self._deletion_loop(list(self._lead_states()), SelectionMode.TIMING)
-        self._log("initial", "loop done", float(self.deletions))
+            self._log("initial", "edge-deletion loop starts")
+            with self._phase_scope("initial"):
+                self._deletion_loop(
+                    list(self._lead_states()), SelectionMode.TIMING
+                )
+            self._log("initial", "loop done", float(self.deletions))
 
-        from .improve import (  # local import avoids a module cycle
-            improve_area,
-            improve_delay,
-            recover_violations,
-        )
+            from .improve import (  # local import avoids a module cycle
+                improve_area,
+                improve_delay,
+                recover_violations,
+            )
 
-        if self.config.timing_driven and self.config.run_violation_recovery:
-            recover_violations(self)
-        if self.config.timing_driven and self.config.run_delay_improvement:
-            improve_delay(self)
-        if self.config.run_area_improvement:
-            improve_area(self)
+            timing = self.config.timing_driven
+            if timing and self.config.run_violation_recovery:
+                with self._phase_scope("recover_violate"):
+                    recover_violations(self)
+            if timing and self.config.run_delay_improvement:
+                with self._phase_scope("improve_delay"):
+                    improve_delay(self)
+            if self.config.run_area_improvement:
+                with self._phase_scope("improve_area"):
+                    improve_area(self)
 
-        self._finalize_trees()
-        elapsed = time.perf_counter() - start
-        return self._build_result(elapsed)
+            with self._phase_scope("finalize"):
+                self._finalize_trees()
+        elapsed = self.profiler.wall_s("route")
+        result = self._build_result(elapsed)
+        if tracer.enabled:
+            tracer.emit(
+                "run_end",
+                deletions=self.deletions,
+                reroutes=self.reroutes,
+                violations=len(result.violations),
+                wall_s=round(elapsed, 6),
+            )
+        return result
+
+    @contextmanager
+    def _phase_scope(self, name: str) -> Iterator[None]:
+        """Trace + profile one Fig. 2 phase (nestable)."""
+        tracer = self.tracer
+        self._phase_stack.append(name)
+        if tracer.enabled:
+            tracer.emit(
+                "phase_start", phase=name, depth=len(self._phase_stack)
+            )
+        try:
+            with self.profiler.phase(name) as node:
+                wall_before = node.wall_s
+                cpu_before = node.cpu_s
+                yield
+        finally:
+            depth = len(self._phase_stack)
+            self._phase_stack.pop()
+            if tracer.enabled:
+                tracer.emit(
+                    "phase_end",
+                    phase=name,
+                    depth=depth,
+                    wall_s=round(node.wall_s - wall_before, 6),
+                    cpu_s=round(node.cpu_s - cpu_before, 6),
+                )
+
+    @property
+    def _current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else ""
 
     # ==================================================================
     # Setup stages
@@ -203,6 +293,15 @@ class GlobalRouter:
         )
         self._ordered_nets = ordered
         if self.insertion_report.insertion_ran:
+            self.metrics.counter("router.feed_cells_inserted").inc(
+                self.insertion_report.inserted_cells
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "feed_cell_inserted",
+                    cells=self.insertion_report.inserted_cells,
+                    widened_columns=self.insertion_report.widening_columns,
+                )
             self._log(
                 "assignment",
                 f"feed-cell insertion added "
@@ -354,10 +453,35 @@ class GlobalRouter:
     # ==================================================================
     def _ensure_timings(self) -> Dict[str, ConstraintTiming]:
         if self._timing_dirty:
-            self._timings = self.analyzer.analyze_all(self.caps)
+            with self.profiler.phase("timing_update"):
+                with self.metrics.timer("router.timing_analysis_s"):
+                    self._timings = self.analyzer.analyze_all(self.caps)
             self._timing_dirty = False
             self._timing_version += 1
+            self._m_timing.inc()
+            if self.tracer.enabled:
+                self._emit_violation_transitions()
         return self._timings
+
+    def _emit_violation_transitions(self) -> None:
+        """Emit found/cleared events for constraints whose violation
+        state flipped since the previous timing analysis."""
+        violated = {
+            name: timing.margin_ps
+            for name, timing in self._timings.items()
+            if timing.violated
+        }
+        for name, margin in violated.items():
+            if name not in self._violated_names:
+                self.tracer.emit(
+                    "violation_found",
+                    constraint=name,
+                    margin_ps=round(margin, 3),
+                )
+        for name in self._violated_names:
+            if name not in violated:
+                self.tracer.emit("violation_cleared", constraint=name)
+        self._violated_names = frozenset(violated)
 
     # ==================================================================
     # Selection
@@ -409,14 +533,24 @@ class GlobalRouter:
     ) -> Optional[Tuple[_NetState, int]]:
         if self.config.timing_driven:
             self._ensure_timings()
+        track = self.tracer.enabled
         best_key = None
+        runner_key = None
         best: Optional[Tuple[_NetState, int]] = None
         for state in states:
             for edge_id in state.graph.deletable_edges():
                 key = self._key_for(state, edge_id, mode)
                 if best_key is None or key < best_key:
+                    if track:
+                        runner_key = best_key
                     best_key = key
                     best = (state, edge_id)
+                elif track and (runner_key is None or key < runner_key):
+                    runner_key = key
+        if track and best is not None:
+            self._last_selection = winning_criterion(
+                best_key, runner_key, mode
+            )
         return best
 
     # ==================================================================
@@ -440,10 +574,25 @@ class GlobalRouter:
 
     def _delete_edge(self, state: _NetState, edge_id: int) -> None:
         """Delete one edge plus its differential mirror; update caches."""
+        if self.tracer.enabled:
+            edge = state.graph.edges[edge_id]
+            criterion, depth = self._last_selection
+            self.tracer.emit(
+                "edge_deleted",
+                net=state.net.name,
+                edge=edge_id,
+                channel=edge.channel,
+                edge_kind=edge.kind.value,
+                length_um=round(edge.length_um, 3),
+                criterion=criterion,
+                depth=depth,
+                phase=self._current_phase,
+            )
         self._apply_deletion(state, edge_id)
         if state.pair is not None:
             self._mirror_deletion(state, edge_id)
         self.deletions += 1
+        self._m_deletions.inc()
 
     def _apply_deletion(self, state: _NetState, edge_id: int) -> None:
         weight = density_weight(state.net)
@@ -476,6 +625,13 @@ class GlobalRouter:
             f"{state.net.name}/{partner.net.name}: correspondence broken — "
             "finishing independently",
         )
+        self.metrics.counter("router.pair_breaks").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "pair_broken",
+                net=state.net.name,
+                partner=partner.net.name,
+            )
         partner.follower_of = None
         state.pair = None
 
@@ -532,11 +688,14 @@ class GlobalRouter:
 
         self._deletion_loop(members, mode)
         self.reroutes += 1
+        self._m_reroutes.inc()
 
         if not self.config.revert_worse_reroutes:
+            self._note_reroute(state, mode, kept=True)
             return True
         after_metric = self._phase_metric(mode)
         if after_metric <= before_metric:
+            self._note_reroute(state, mode, kept=True)
             return True
         # Roll back to the snapshot (routes and feedthrough slots).
         self._restore_slots(members, slot_snapshot)
@@ -560,7 +719,21 @@ class GlobalRouter:
             else:
                 state.pair = restored
         self._timing_dirty = True
+        self._m_reverted.inc()
+        self._note_reroute(state, mode, kept=False)
         return False
+
+    def _note_reroute(
+        self, state: _NetState, mode: SelectionMode, kept: bool
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "reroute",
+                net=state.net.name,
+                mode=mode.value,
+                kept=kept,
+                phase=self._current_phase,
+            )
 
     def _capture_slots(
         self, members: Sequence[_NetState]
@@ -678,6 +851,13 @@ class GlobalRouter:
             channel: self.engine.channel_stats(channel).c_max
             for channel in range(self.engine.n_channels)
         }
+        self.metrics.gauge("router.peak_density_total").set(
+            float(sum(peak_density.values()))
+        )
+        self.metrics.gauge("density.updates").set(float(self.engine.updates))
+        self.metrics.gauge("density.stats_recomputes").set(
+            float(self.engine.stats_recomputes)
+        )
         floorplan = Floorplan.from_placement(
             self.placement, peak_density, self.config.technology
         )

@@ -28,7 +28,7 @@ The area-improvement phase (Section 3.5) reorders the comparison: after
 from __future__ import annotations
 
 import enum
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..routegraph.graph import RouteEdge
 from .criteria import DelayCriteria
@@ -44,6 +44,48 @@ class SelectionMode(enum.Enum):
 
 SelectionKey = Tuple
 """Opaque comparable tuple; smaller is better (selected for deletion)."""
+
+
+CRITERION_NAMES = {
+    # Key-position -> criterion label, per mode.  Must mirror the tuple
+    # layouts produced by :func:`selection_key`; positions beyond the
+    # listed names are the deterministic identity tie-break.
+    SelectionMode.TIMING: (
+        "C_d", "Gl", "LD",
+        "trunk", "F_m", "N_m", "F_M", "N_M",
+        "length",
+    ),
+    SelectionMode.AREA: (
+        "C_d",
+        "trunk", "F_m", "N_m", "F_M", "N_M",
+        "Gl", "LD",
+        "length",
+    ),
+}
+
+
+def winning_criterion(
+    best: SelectionKey,
+    runner_up: Optional[SelectionKey],
+    mode: SelectionMode,
+) -> Tuple[str, int]:
+    """Which lexicographic condition separated the winner from the field.
+
+    Returns ``(criterion_name, depth)`` where ``depth`` is the key index
+    at which ``best`` first beats ``runner_up`` — i.e. how many
+    conditions compared equal before one broke the tie.  A sole candidate
+    reports ``("sole_candidate", -1)``; keys identical through every
+    named condition report ``("tie_break", depth)``.
+    """
+    if runner_up is None:
+        return "sole_candidate", -1
+    names = CRITERION_NAMES[mode]
+    for depth, (a, b) in enumerate(zip(best, runner_up)):
+        if a != b:
+            if depth < len(names):
+                return names[depth], depth
+            return "tie_break", depth
+    return "tie_break", min(len(best), len(runner_up))
 
 
 def selection_key(

@@ -94,24 +94,15 @@ def signoff_to_dict(report: SignoffReport) -> Dict[str, Any]:
 
 
 def run_record_to_dict(record: RunRecord) -> Dict[str, Any]:
-    """Serialize one benchmark run record (a Table 2/3 row)."""
-    return {
-        "dataset": record.dataset,
-        "constrained": record.constrained,
-        "delay_ps": record.delay_ps,
-        "area_mm2": record.area_mm2,
-        "length_mm": record.length_mm,
-        "cpu_s": record.cpu_s,
-        "lower_bound_ps": record.lower_bound_ps,
-        "gap_to_bound_pct": record.gap_to_bound_pct,
-        "violations": record.violations,
-        "cells": record.cells,
-        "nets": record.nets,
-        "n_constraints": record.n_constraints,
-        "feed_cells_inserted": record.feed_cells_inserted,
-        "deletions": record.deletions,
-        "reroutes": record.reroutes,
-    }
+    """Serialize one benchmark run record (a Table 2/3 row).
+
+    Scalar keys follow :meth:`RunRecord.fields` — the one canonical
+    column order — with the observability snapshot nested under
+    ``"metrics"``.
+    """
+    payload: Dict[str, Any] = record.to_row()
+    payload["metrics"] = dict(record.metrics)
+    return payload
 
 
 def write_json_report(

@@ -1,0 +1,70 @@
+"""Observability: structured tracing, metrics, profiling, manifests.
+
+The subsystem the router's per-iteration telemetry flows through:
+
+* :mod:`~repro.obs.events` — typed trace events, sinks (JSONL, memory
+  ring buffer, null), and the :class:`Tracer` front-end;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with timing
+  sugar and dict export;
+* :mod:`~repro.obs.profile` — hierarchical per-phase wall/CPU profiling;
+* :mod:`~repro.obs.manifest` — machine-readable run manifests;
+* :mod:`~repro.obs.summarize` — trace-file analysis for the CLI.
+
+Everything defaults off: a router built without a sink runs against
+:data:`NULL_SINK`, where tracing is a single attribute check.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    JsonlTraceSink,
+    MemorySink,
+    NULL_SINK,
+    NullSink,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+    events_to_jsonl,
+    read_trace,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_run_manifest,
+    describe_source,
+    read_manifest,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .profile import PhaseNode, PhaseProfiler
+from .summarize import summarize_trace
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "MANIFEST_SCHEMA",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "PhaseNode",
+    "PhaseProfiler",
+    "RunManifest",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "build_run_manifest",
+    "describe_source",
+    "events_to_jsonl",
+    "get_registry",
+    "read_manifest",
+    "read_trace",
+    "summarize_trace",
+]

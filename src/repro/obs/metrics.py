@@ -1,0 +1,207 @@
+"""Process-local metrics registry: counters, gauges, histograms, timers.
+
+One :class:`MetricsRegistry` is created per router run (the bench runner
+attaches its snapshot to the :class:`~repro.bench.runner.RunRecord`), and
+a module-level registry is available via :func:`get_registry` for code
+that has no run context to thread one through.
+
+Everything is synchronous and allocation-light: a counter increment is
+one attribute add, so instruments can live on hot paths.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max/mean).
+
+    Deliberately no buckets: the router's distributions are inspected
+    through traces; the registry only needs cheap aggregates.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get instrument store keyed by dotted metric name."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def _check_name(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered with a different type"
+            )
+
+    # ------------------------------------------------------------------
+    # Timing sugar
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Record the elapsed wall seconds of a block into a histogram."""
+        histogram = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.record(time.perf_counter() - start)
+
+    def timed(self, name: str) -> Callable:
+        """Decorator form of :meth:`timer`."""
+
+        def decorate(func: Callable) -> Callable:
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.timer(name):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Nested dict export: scalars for counters/gauges, summary dicts
+        for histograms."""
+        payload: Dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            payload[name] = counter.value
+        for name, gauge in self._gauges.items():
+            payload[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            payload[name] = histogram.summary()
+        return payload
+
+    def flat(self) -> Dict[str, float]:
+        """Fully flattened export, histograms expanded to dotted keys."""
+        payload: Dict[str, float] = {}
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                for stat, number in value.items():
+                    payload[f"{name}.{stat}"] = float(number)
+            else:
+                payload[name] = float(value)
+        return payload
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def format(self) -> str:
+        """Sorted ``name value`` lines for terminal output."""
+        lines = []
+        flat = self.flat()
+        for name in sorted(flat):
+            value = flat[name]
+            if float(value).is_integer():
+                lines.append(f"{name:<40s} {int(value)}")
+            else:
+                lines.append(f"{name:<40s} {value:.6f}")
+        return "\n".join(lines)
+
+
+_GLOBAL_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The shared process-local registry (created on first use)."""
+    global _GLOBAL_REGISTRY
+    if _GLOBAL_REGISTRY is None:
+        _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

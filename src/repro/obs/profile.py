@@ -1,0 +1,133 @@
+"""Phase-scoped wall/CPU profiling with a hierarchical report.
+
+The router wraps each Fig. 2 stage in :meth:`PhaseProfiler.phase`; nested
+scopes (e.g. every incremental ``timing_update`` inside the initial loop)
+become children of the enclosing phase, so the report answers directly
+where a run spent its time::
+
+    route                     1.234s wall  1.101s cpu  (1 call)
+      setup                   0.120s ...
+        timing                0.030s ...
+      initial                 0.800s ...
+        timing_update         0.350s ...  (41 calls)
+      improve_area            0.200s ...
+
+Wall time comes from ``time.perf_counter``, CPU time from
+``time.process_time``.  Scopes are cheap (two clock reads each side), so
+per-phase profiling is always on; nothing here belongs inside the
+per-candidate hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class PhaseNode:
+    """Accumulated timings of one phase (and its children)."""
+
+    __slots__ = ("name", "wall_s", "cpu_s", "calls", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.calls = 0
+        self.children: Dict[str, "PhaseNode"] = {}
+
+    def child(self, name: str) -> "PhaseNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = PhaseNode(name)
+        return node
+
+    def self_wall_s(self) -> float:
+        """Wall time not attributed to any child scope."""
+        return self.wall_s - sum(c.wall_s for c in self.children.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "calls": self.calls,
+        }
+        if self.children:
+            payload["children"] = {
+                name: node.to_dict()
+                for name, node in self.children.items()
+            }
+        return payload
+
+
+class PhaseProfiler:
+    """Stack of nested :class:`PhaseNode` scopes."""
+
+    def __init__(self):
+        self.root = PhaseNode("")
+        self._stack: List[PhaseNode] = [self.root]
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 = no open phase)."""
+        return len(self._stack) - 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseNode]:
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield node
+        finally:
+            node.wall_s += time.perf_counter() - wall_start
+            node.cpu_s += time.process_time() - cpu_start
+            node.calls += 1
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Queries / export
+    # ------------------------------------------------------------------
+    def node(self, *path: str) -> Optional[PhaseNode]:
+        """The node at ``path`` (from the root), or None."""
+        node = self.root
+        for name in path:
+            node = node.children.get(name)
+            if node is None:
+                return None
+        return node
+
+    def wall_s(self, *path: str) -> float:
+        node = self.node(*path)
+        return node.wall_s if node is not None else 0.0
+
+    def cpu_s(self, *path: str) -> float:
+        node = self.node(*path)
+        return node.cpu_s if node is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            name: node.to_dict()
+            for name, node in self.root.children.items()
+        }
+
+    def format(self) -> str:
+        """Indented text report, phases in first-entered order."""
+        lines: List[str] = [
+            f"{'phase':<34s} {'wall_s':>10s} {'cpu_s':>10s} {'calls':>7s}"
+        ]
+
+        def walk(node: PhaseNode, indent: int) -> None:
+            label = "  " * indent + node.name
+            lines.append(
+                f"{label:<34s} {node.wall_s:>10.4f} "
+                f"{node.cpu_s:>10.4f} {node.calls:>7d}"
+            )
+            for child in node.children.values():
+                walk(child, indent + 1)
+
+        for child in self.root.children.values():
+            walk(child, 0)
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Trace-file analysis: the ``trace summarize`` CLI subcommand's engine.
+
+Reconstructs per-phase timing from ``phase_start``/``phase_end`` pairs
+and breaks the ``edge_deleted`` stream down by winning criterion and by
+phase — the per-iteration telemetry view the Section 3.4 heuristics are
+tuned with.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Dict, List, Sequence
+
+from .events import TraceEvent
+
+
+def summarize_trace(events: Sequence[TraceEvent]) -> str:
+    """Human-readable multi-section summary of one run's trace."""
+    if not events:
+        return "empty trace"
+    lines: List[str] = []
+    lines.extend(_header_lines(events))
+    lines.extend(_phase_lines(events))
+    lines.extend(_criterion_lines(events))
+    lines.extend(_reroute_lines(events))
+    lines.extend(_violation_lines(events))
+    return "\n".join(lines)
+
+
+def _header_lines(events: Sequence[TraceEvent]) -> List[str]:
+    lines = []
+    starts = [e for e in events if e.kind == "run_start"]
+    ends = [e for e in events if e.kind == "run_end"]
+    if starts:
+        data = starts[0].data
+        lines.append(
+            f"run: circuit {data.get('circuit', '?')} — "
+            f"{data.get('nets', '?')} nets, "
+            f"{data.get('constraints', '?')} constraints, "
+            f"timing_driven={data.get('timing_driven', '?')}"
+        )
+    if ends:
+        data = ends[0].data
+        lines.append(
+            f"finished in {data.get('wall_s', 0.0):.3f}s wall — "
+            f"{data.get('deletions', 0)} deletions, "
+            f"{data.get('reroutes', 0)} reroutes, "
+            f"{data.get('violations', 0)} violations left"
+        )
+    lines.append(f"{len(events)} events")
+    return lines
+
+
+def _phase_lines(events: Sequence[TraceEvent]) -> List[str]:
+    """Phases in start order, indented by their recorded nesting depth."""
+    rows: List[Dict[str, Any]] = []
+    open_rows: List[Dict[str, Any]] = []
+    for event in events:
+        if event.kind == "phase_start":
+            row = {
+                "phase": event.data.get("phase", "?"),
+                "depth": int(event.data.get("depth", 1)),
+                "wall_s": None,
+                "cpu_s": None,
+            }
+            rows.append(row)
+            open_rows.append(row)
+        elif event.kind == "phase_end":
+            name = event.data.get("phase", "?")
+            for row in reversed(open_rows):
+                if row["phase"] == name:
+                    row["wall_s"] = event.data.get("wall_s")
+                    row["cpu_s"] = event.data.get("cpu_s")
+                    open_rows.remove(row)
+                    break
+    if not rows:
+        return []
+    lines = ["", "phases:",
+             f"  {'phase':<28s} {'wall_s':>10s} {'cpu_s':>10s}"]
+    for row in rows:
+        indent = "  " * max(0, row["depth"] - 1)
+        wall = (
+            f"{row['wall_s']:>10.4f}" if row["wall_s"] is not None
+            else f"{'?':>10s}"
+        )
+        cpu = (
+            f"{row['cpu_s']:>10.4f}" if row["cpu_s"] is not None
+            else f"{'?':>10s}"
+        )
+        lines.append(f"  {indent + row['phase']:<28s} {wall} {cpu}")
+    return lines
+
+
+def _criterion_lines(events: Sequence[TraceEvent]) -> List[str]:
+    deleted = [e for e in events if e.kind == "edge_deleted"]
+    if not deleted:
+        return []
+    by_criterion = TallyCounter(
+        e.data.get("criterion", "?") for e in deleted
+    )
+    by_phase = TallyCounter(e.data.get("phase", "?") for e in deleted)
+    total = len(deleted)
+    lines = ["", f"edge deletions: {total}", "  by winning criterion:"]
+    for criterion, count in by_criterion.most_common():
+        lines.append(
+            f"    {criterion:<16s} {count:>7d}  ({100.0 * count / total:.1f}%)"
+        )
+    lines.append("  by phase:")
+    for phase, count in by_phase.most_common():
+        lines.append(f"    {phase:<16s} {count:>7d}")
+    return lines
+
+
+def _reroute_lines(events: Sequence[TraceEvent]) -> List[str]:
+    reroutes = [e for e in events if e.kind == "reroute"]
+    if not reroutes:
+        return []
+    kept = sum(1 for e in reroutes if e.data.get("kept"))
+    return [
+        "",
+        f"reroutes: {len(reroutes)} "
+        f"({kept} kept, {len(reroutes) - kept} reverted)",
+    ]
+
+
+def _violation_lines(events: Sequence[TraceEvent]) -> List[str]:
+    found = [e for e in events if e.kind == "violation_found"]
+    cleared = [e for e in events if e.kind == "violation_cleared"]
+    if not found and not cleared:
+        return []
+    return [
+        "",
+        f"violations: {len(found)} found, {len(cleared)} cleared",
+    ]

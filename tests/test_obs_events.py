@@ -1,0 +1,136 @@
+"""Tests for the structured event bus (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    JsonlTraceSink,
+    MemorySink,
+    NULL_SINK,
+    NullSink,
+    TraceEvent,
+    Tracer,
+    events_to_jsonl,
+    read_trace,
+)
+
+
+class TestTraceEvent:
+    def test_round_trips_through_dict(self):
+        event = TraceEvent(3, 1.25, "edge_deleted", {"net": "n1", "edge": 7})
+        back = TraceEvent.from_dict(event.to_dict())
+        assert back.seq == 3
+        assert back.kind == "edge_deleted"
+        assert back.data == {"net": "n1", "edge": 7}
+
+    def test_json_is_flat(self):
+        event = TraceEvent(1, 0.5, "reroute", {"net": "a", "kept": True})
+        payload = json.loads(event.to_json())
+        assert payload["seq"] == 1
+        assert payload["kind"] == "reroute"
+        assert payload["net"] == "a"
+        assert payload["kept"] is True
+
+
+class TestTracer:
+    def test_sequences_and_orders_events(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit("run_start", circuit="c")
+        tracer.emit("phase_start", phase="setup")
+        tracer.emit("phase_end", phase="setup")
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs) == [1, 2, 3]
+        kinds = [e.kind for e in sink.events]
+        assert kinds == ["run_start", "phase_start", "phase_end"]
+
+    def test_timestamps_monotonic(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        for _ in range(10):
+            tracer.emit("reroute")
+        times = [e.t_s for e in sink.events]
+        assert times == sorted(times)
+        assert all(t >= 0.0 for t in times)
+
+    def test_null_sink_disables_tracer(self):
+        tracer = Tracer(NULL_SINK)
+        assert not tracer.enabled
+        tracer.emit("run_start")  # must be a no-op, not an error
+        assert tracer._seq == 0
+
+    def test_default_is_null(self):
+        assert not Tracer().enabled
+
+    def test_of_coerces(self):
+        tracer = Tracer(MemorySink())
+        assert Tracer.of(tracer) is tracer
+        assert isinstance(Tracer.of(None), Tracer)
+        assert not Tracer.of(None).enabled
+
+
+class TestMemorySink:
+    def test_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=3)
+        tracer = Tracer(sink)
+        for i in range(5):
+            tracer.emit("reroute", i=i)
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [e.data["i"] for e in sink.events] == [2, 3, 4]
+
+    def test_of_kind_filters(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit("reroute")
+        tracer.emit("edge_deleted")
+        tracer.emit("reroute")
+        assert len(sink.of_kind("reroute")) == 2
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            tracer = Tracer(sink)
+            tracer.emit("run_start", circuit="demo", nets=4)
+            tracer.emit(
+                "edge_deleted", net="n1", edge=2, criterion="F_m", depth=4
+            )
+            tracer.emit("run_end", deletions=1)
+        events = read_trace(path)
+        assert [e.kind for e in events] == [
+            "run_start", "edge_deleted", "run_end",
+        ]
+        assert events[1].data["criterion"] == "F_m"
+        assert events[1].data["depth"] == 4
+        assert [e.seq for e in events] == [1, 2, 3]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(TraceEvent(1, 0.0, "run_start", {}))
+
+    def test_events_to_jsonl_matches_file(self, tmp_path):
+        events = [
+            TraceEvent(1, 0.0, "run_start", {"circuit": "x"}),
+            TraceEvent(2, 0.1, "run_end", {}),
+        ]
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+        assert path.read_text() == events_to_jsonl(events)
+
+
+class TestEventVocabulary:
+    def test_kinds_are_unique_and_nonempty(self):
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS))
+        assert all(kind for kind in EVENT_KINDS)
+
+    def test_null_sink_is_disabled(self):
+        assert NullSink.enabled is False
+        assert NULL_SINK.enabled is False

@@ -1,0 +1,111 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class TestInstruments:
+    def test_counter_create_or_get(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        registry.gauge("g").set(7.0)
+        assert registry.gauge("g").value == 7.0
+
+    def test_histogram_aggregates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (2.0, 4.0, 9.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(15.0)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 9.0
+        assert summary["mean"] == pytest.approx(5.0)
+
+    def test_empty_histogram_summary_is_zero(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestTimers:
+    def test_timer_records_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        with registry.timer("t"):
+            pass
+        summary = registry.histogram("t").summary()
+        assert summary["count"] == 2
+        assert summary["total"] >= 0.0
+
+    def test_timed_decorator(self):
+        registry = MetricsRegistry()
+
+        @registry.timed("f")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert registry.histogram("f").count == 1
+
+    def test_timer_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("t"):
+                raise RuntimeError("boom")
+        assert registry.histogram("t").count == 1
+
+
+class TestExport:
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.25)
+        registry.histogram("h").record(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["g"] == 1.25
+        assert snapshot["h"]["count"] == 1
+
+    def test_flat_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").record(2.0)
+        flat = registry.flat()
+        assert flat["c"] == 1.0
+        assert flat["h.count"] == 1.0
+        assert flat["h.total"] == 2.0
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_format_lists_sorted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        lines = registry.format().splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("b")
+
+
+def test_global_registry_is_shared():
+    assert get_registry() is get_registry()

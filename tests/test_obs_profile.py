@@ -1,0 +1,117 @@
+"""Tests for the phase profiler and the run manifest."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_run_manifest,
+    describe_source,
+    read_manifest,
+)
+from repro.obs.profile import PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_nested_scopes_build_a_tree(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("route"):
+            with profiler.phase("setup"):
+                pass
+            with profiler.phase("initial"):
+                with profiler.phase("timing_update"):
+                    pass
+        tree = profiler.to_dict()
+        assert set(tree) == {"route"}
+        assert set(tree["route"]["children"]) == {"setup", "initial"}
+        assert "timing_update" in tree["route"]["children"]["initial"][
+            "children"
+        ]
+
+    def test_repeated_phases_accumulate(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("p"):
+                pass
+        node = profiler.node("p")
+        assert node.calls == 3
+        assert node.wall_s >= 0.0
+
+    def test_parent_wall_covers_children(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("parent"):
+            with profiler.phase("child"):
+                sum(range(10000))
+        parent = profiler.node("parent")
+        child = profiler.node("parent", "child")
+        assert parent.wall_s >= child.wall_s
+        assert parent.self_wall_s() >= 0.0
+
+    def test_wall_s_missing_path_is_zero(self):
+        assert PhaseProfiler().wall_s("nope") == 0.0
+
+    def test_exception_still_recorded(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("p"):
+                raise RuntimeError("boom")
+        assert profiler.node("p").calls == 1
+        assert profiler.depth == 0
+
+    def test_format_lists_phases_in_order(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("alpha"):
+            pass
+        with profiler.phase("beta"):
+            pass
+        text = profiler.format()
+        assert text.index("alpha") < text.index("beta")
+
+
+class TestManifest:
+    def test_build_and_write(self, tmp_path):
+        profiler = PhaseProfiler()
+        with profiler.phase("route"):
+            pass
+        manifest = build_run_manifest(
+            config={"timing_driven": True},
+            dataset={"circuit": "demo"},
+            result={"deletions": 12},
+            metrics={"router.deletions": 12},
+            profiler=profiler,
+        )
+        path = manifest.write(tmp_path / "run.manifest.json")
+        payload = read_manifest(path)
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["dataset"]["circuit"] == "demo"
+        assert payload["results"]["deletions"] == 12
+        assert "route" in payload["results"]["phases"]
+        assert payload["metrics"]["router.deletions"] == 12
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+    def test_dataclass_config_serializes(self, tmp_path):
+        from repro.core.config import RouterConfig
+
+        manifest = build_run_manifest(config=RouterConfig())
+        path = manifest.write(tmp_path / "m.json")
+        payload = read_manifest(path)
+        assert payload["config"]["timing_driven"] is True
+        assert "technology" in payload["config"]
+
+    def test_describe_source_finds_this_repo(self):
+        info = describe_source()
+        # The test tree is a git repository; outside one, all None is fine.
+        assert set(info) == {"ref", "commit", "describe"}
+        if info["commit"] is not None:
+            assert len(info["commit"]) >= 12
+            assert info["describe"]
+
+    def test_describe_source_no_repo(self, tmp_path):
+        info = describe_source(tmp_path)
+        assert info == {"ref": None, "commit": None, "describe": None}
