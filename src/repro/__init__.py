@@ -136,6 +136,17 @@ from .bench import (
     small_suite,
     standard_suite,
 )
+from .exec import (
+    JobOutcome,
+    JobSpec,
+    ProgressEvent,
+    ProgressPrinter,
+    ResultCache,
+    SweepReporter,
+    SweepResult,
+    execute_job,
+    run_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -236,6 +247,16 @@ __all__ = [
     "run_suite",
     "small_suite",
     "standard_suite",
+    # exec (batch engine)
+    "JobOutcome",
+    "JobSpec",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "ResultCache",
+    "SweepReporter",
+    "SweepResult",
+    "execute_job",
+    "run_batch",
     # obs
     "JsonlTraceSink",
     "MemorySink",

@@ -18,7 +18,7 @@ from .archive import (
     run_suite_archive,
     write_archive,
 )
-from .runner import RunRecord, run_dataset, run_pair, run_suite
+from .runner import RunRecord, pair_records, run_dataset, run_pair, run_suite
 from .tables import format_table1, format_table2, format_table3
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "generate_circuit",
     "generate_constraints",
     "make_dataset",
+    "pair_records",
     "run_dataset",
     "run_pair",
     "run_suite",

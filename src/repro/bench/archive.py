@@ -12,10 +12,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..io.fsutil import atomic_write_text
 from ..io.json_report import run_record_to_dict
 from ..tech import Technology
 from .circuits import Dataset, DatasetSpec, make_dataset
-from .runner import RunRecord, run_pair
+from .runner import RunRecord, run_suite
 from .tables import format_table1, format_table2, format_table3
 
 PathLike = Union[str, Path]
@@ -72,17 +73,32 @@ def run_suite_archive(
     specs: Sequence[DatasetSpec],
     suite_name: str = "suite",
     technology: Technology = Technology(),
+    *,
+    workers: int = 0,
+    cache=None,
 ) -> SuiteArchive:
-    """Route every dataset in both modes and collect the archive."""
-    records = [run_pair(spec, technology) for spec in specs]
+    """Route every dataset in both modes and collect the archive.
+
+    ``workers``/``cache`` are forwarded to the batch engine backing
+    :func:`~repro.bench.runner.run_suite`, so a suite archive can be
+    produced in parallel and warm-started from cached jobs.
+    """
+    records = run_suite(
+        list(specs), technology, workers=workers, cache=cache
+    )
     datasets = [make_dataset(spec, technology) for spec in specs]
     return SuiteArchive(suite_name, records, datasets)
 
 
 def write_archive(archive: SuiteArchive, path: PathLike) -> None:
-    """Persist an archive as JSON."""
-    Path(path).write_text(
-        json.dumps(archive.to_dict(), indent=2, sort_keys=True)
+    """Persist an archive as JSON.
+
+    The write is atomic (temp file + ``os.replace``), so an interrupted
+    or killed run can never leave a truncated archive — a prerequisite
+    for concurrent batch jobs sharing an archive directory.
+    """
+    atomic_write_text(
+        path, json.dumps(archive.to_dict(), indent=2, sort_keys=True)
     )
 
 

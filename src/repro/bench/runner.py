@@ -150,6 +150,21 @@ def run_dataset(
     return record, global_result, report, dataset
 
 
+def pair_records(
+    with_c: RunRecord, without_c: RunRecord
+) -> Tuple[RunRecord, RunRecord]:
+    """Stitch two independently produced records into a Table 2/3 pair.
+
+    The Table 3 lower bound of the constrained record was recomputed on
+    the *routed* chip geometry (see
+    :func:`repro.exec.jobs.execute_job`); the unconstrained record
+    adopts it so both rows share one per-dataset bound, exactly as the
+    historical serial path did.
+    """
+    without_c.lower_bound_ps = with_c.lower_bound_ps
+    return with_c, without_c
+
+
 def run_pair(
     spec: DatasetSpec,
     technology: Technology = Technology(),
@@ -161,25 +176,55 @@ def run_pair(
     The Table 3 lower bound is recomputed on the *routed* chip geometry
     (the constrained run's channel heights), matching the paper's
     "rectangle containing the net terminals" on the final layout; both
-    records share that single per-dataset bound.
+    records share that single per-dataset bound.  Delegates to the batch
+    engine's job runner so serial and batch results are identical.
     """
-    with_c, _, report_c, ds_c = run_dataset(spec, True, technology, config)
-    without_c, _, _, _ = run_dataset(spec, False, technology, config)
-    bound = critical_path_lower_bound_ps(
-        ds_c.circuit,
-        ds_c.placement,
-        technology,
-        channel_tracks=report_c.floorplan.channel_tracks,
-    )
-    with_c.lower_bound_ps = bound
-    without_c.lower_bound_ps = bound
-    return with_c, without_c
+    from ..exec.jobs import JobSpec, execute_job
+
+    with_c = execute_job(JobSpec(spec, True, technology, config))
+    without_c = execute_job(JobSpec(spec, False, technology, config))
+    return pair_records(with_c, without_c)
 
 
 def run_suite(
     specs: List[DatasetSpec],
     technology: Technology = Technology(),
     config: Optional[RouterConfig] = None,
+    *,
+    workers: int = 0,
+    cache: Optional["ResultCache"] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    on_event=None,
 ) -> List[Tuple[RunRecord, RunRecord]]:
-    """Route every dataset in both modes."""
-    return [run_pair(spec, technology, config) for spec in specs]
+    """Route every dataset in both modes, via the batch engine.
+
+    With the defaults this is the historical serial sweep (inline, no
+    cache).  ``workers`` fans the 2×len(specs) jobs out across
+    subprocesses; ``cache`` memoizes each job on disk (see
+    :mod:`repro.exec`).  Raises :class:`~repro.errors.RoutingError` if
+    any job ultimately fails, since a suite with holes cannot fill the
+    paper's tables.
+    """
+    from ..errors import RoutingError
+    from ..exec import JobSpec, run_batch
+
+    jobs: List["JobSpec"] = []
+    for spec in specs:
+        jobs.append(JobSpec(spec, True, technology, config))
+        jobs.append(JobSpec(spec, False, technology, config))
+    sweep = run_batch(
+        jobs,
+        workers=workers,
+        cache=cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        on_event=on_event,
+    )
+    if not sweep.all_ok:
+        raise RoutingError(f"suite sweep failed:\n{sweep.summary()}")
+    records = sweep.records()
+    return [
+        pair_records(records[2 * i], records[2 * i + 1])
+        for i in range(len(specs))
+    ]

@@ -12,6 +12,14 @@ Installed as ``repro-router``.  Subcommands:
 ``trace``
     Inspect a JSONL run trace (``trace summarize out.jsonl`` prints the
     per-phase time and winning-criterion breakdown).
+``batch``
+    Run an experiment sweep on the parallel batch engine
+    (:mod:`repro.exec`): N worker processes, per-job timeout, bounded
+    retry, and a content-addressed result cache so warm re-runs and
+    interrupted sweeps skip completed jobs.
+
+Exit codes: 0 success; 1 operational failure (violations, failed batch
+jobs); 2 unusable input (missing, empty, or malformed file).
 
 Examples::
 
@@ -20,6 +28,7 @@ Examples::
     repro-router route demo.rnl --placement demo.rpl --constraints 6
     repro-router route demo.rnl --constraints 6 --trace out.jsonl --metrics
     repro-router trace summarize out.jsonl
+    repro-router batch --suite small --workers 4 --retries 1 --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ from .bench.circuits import (
     small_suite,
     standard_suite,
 )
-from .bench.runner import run_pair
+from .bench.runner import run_suite
 from .bench.tables import format_table1, format_table2, format_table3
 from .channelrouter.leftedge import route_channels
 from .core.config import RouterConfig
@@ -161,6 +170,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase time and winning-criterion breakdown",
     )
     summarize.add_argument("path", type=Path)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run an experiment sweep on the parallel batch engine",
+    )
+    batch.add_argument(
+        "--suite", choices=("standard", "small"), default="small"
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("both", "constrained", "unconstrained"),
+        default="both",
+        help="which routing mode(s) to sweep per dataset",
+    )
+    batch.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="run only the first N jobs of the sweep",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count; 0 = inline)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (requires workers >= 1)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts for a failed job",
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its completed jobs",
+    )
+    batch.add_argument(
+        "--cache-dir", type=Path, default=Path(".repro-cache"),
+        metavar="DIR",
+        help="content-addressed result cache location",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache (recompute and discard)",
+    )
+    batch.add_argument(
+        "--manifests", type=Path, default=None, metavar="DIR",
+        help="write per-job run manifests and the sweep rollup here",
+    )
+    batch.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the sweep rollup manifest JSON here",
+    )
     return parser
 
 
@@ -177,10 +237,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     raise AssertionError("unreachable")
+
+
+def _input_error(message: str) -> int:
+    """Report an unusable input file: one line on stderr, exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _cmd_tables(args) -> int:
@@ -192,7 +260,7 @@ def _cmd_tables(args) -> int:
         print(format_table1([make_dataset(spec) for spec in specs]))
         print()
     if wanted & {2, 3}:
-        pairs = [run_pair(spec) for spec in specs]
+        pairs = run_suite(specs)
         if 2 in wanted:
             print(format_table2(pairs))
             print()
@@ -204,9 +272,17 @@ def _cmd_tables(args) -> int:
 def _cmd_route(args) -> int:
     library = standard_ecl_library()
     technology = Technology()
-    circuit = read_circuit(args.netlist, library)
+    try:
+        circuit = read_circuit(args.netlist, library)
+    except (OSError, ReproError) as exc:
+        return _input_error(f"cannot read netlist {args.netlist}: {exc}")
     if args.placement is not None:
-        placement = read_placement(args.placement, circuit)
+        try:
+            placement = read_placement(args.placement, circuit)
+        except (OSError, ReproError) as exc:
+            return _input_error(
+                f"cannot read placement {args.placement}: {exc}"
+            )
     else:
         placement = place_circuit(
             circuit,
@@ -378,9 +454,9 @@ def _cmd_trace(args) -> int:
         try:
             events = read_trace(args.path)
         except (OSError, ValueError, KeyError) as exc:
-            print(f"error: cannot read trace {args.path}: {exc}",
-                  file=sys.stderr)
-            return 1
+            return _input_error(f"cannot read trace {args.path}: {exc}")
+        if not events:
+            return _input_error(f"trace {args.path} contains no events")
         print(summarize_trace(events))
         return 0
     raise AssertionError("unreachable")
@@ -389,15 +465,97 @@ def _cmd_trace(args) -> int:
 def _cmd_compare(args) -> int:
     from .bench.archive import compare_archives, load_archive_dict
 
-    notes = compare_archives(
-        load_archive_dict(args.old), load_archive_dict(args.new)
-    )
+    archives = []
+    for path in (args.old, args.new):
+        try:
+            archives.append(load_archive_dict(path))
+        except (OSError, ValueError, KeyError) as exc:
+            return _input_error(f"cannot read archive {path}: {exc}")
+    notes = compare_archives(*archives)
     if not notes:
         print("no changes beyond 0.5%")
         return 0
     for note in notes:
         print(note)
     return 2
+
+
+def _cmd_batch(args) -> int:
+    import os
+
+    from .exec import (
+        JobSpec,
+        ProgressPrinter,
+        ResultCache,
+        SweepReporter,
+        run_batch,
+        sweep_id_of,
+        tee,
+    )
+
+    if args.resume and args.no_cache:
+        return _input_error(
+            "--resume needs the result cache; drop --no-cache"
+        )
+    specs = standard_suite() if args.suite == "standard" else small_suite()
+    modes = {
+        "both": (True, False),
+        "constrained": (True,),
+        "unconstrained": (False,),
+    }[args.mode]
+    jobs = [
+        JobSpec(spec, constrained=mode)
+        for spec in specs
+        for mode in modes
+    ]
+    if args.limit is not None:
+        jobs = jobs[: args.limit]
+    if not jobs:
+        return _input_error("sweep selects no jobs")
+    workers = args.workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.resume:
+        checkpoint = (
+            cache.root / "sweeps" / f"sweep-{sweep_id_of(jobs)}.json"
+        )
+        if checkpoint.is_file():
+            print(f"resuming sweep from {checkpoint}")
+        else:
+            print("no prior checkpoint for this sweep; running all jobs")
+
+    reporter = SweepReporter()
+    sweep = run_batch(
+        jobs,
+        workers=workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        cache=cache,
+        on_event=tee(ProgressPrinter(), reporter),
+        manifest_dir=args.manifests,
+    )
+
+    print()
+    header = f"{'job':<14} {'status':<8} {'delay(ps)':>10} {'attempts':>8}"
+    print(header)
+    for outcome in sweep.outcomes:
+        delay = (
+            f"{outcome.record.delay_ps:>10.1f}" if outcome.record
+            else f"{'-':>10}"
+        )
+        print(
+            f"{outcome.spec.job_id:<14} {outcome.status:<8} "
+            f"{delay} {outcome.attempts:>8d}"
+        )
+    print()
+    print(sweep.summary())
+    print(f"cache hits: {sweep.n_cached}/{len(jobs)}")
+    if args.out is not None:
+        reporter.rollup_manifest(sweep).write(args.out)
+        print(f"wrote sweep rollup {args.out}")
+    return 0 if sweep.all_ok else 1
 
 
 if __name__ == "__main__":

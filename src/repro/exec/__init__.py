@@ -1,0 +1,60 @@
+"""Batch-execution engine: declarative jobs, a content-addressed result
+cache, and a fault-tolerant parallel worker pool.
+
+The substrate under every experiment sweep (tables, ablations, seed
+scans): describe each run as a :class:`JobSpec`, hand the list to
+:func:`run_batch`, and get back one :class:`JobOutcome` per job —
+computed in parallel, memoized on disk, retried on failure, and isolated
+from worker crashes.  ``repro-router batch`` is the CLI front-end;
+:func:`repro.bench.runner.run_suite` rides on the same engine.
+
+* :mod:`~repro.exec.jobs` — :class:`JobSpec` and its deterministic
+  content-addressed cache key;
+* :mod:`~repro.exec.cache` — the on-disk :class:`ResultCache` with
+  atomic writes;
+* :mod:`~repro.exec.pool` — :func:`run_batch`: worker pool, timeouts,
+  bounded retry, checkpoint/resume;
+* :mod:`~repro.exec.progress` — live progress events and the sweep's
+  observability rollup.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache
+from .jobs import (
+    CODE_VERSION_SALT,
+    JobSpec,
+    canonical_json,
+    canonical_value,
+    execute_job,
+)
+from .pool import (
+    CHECKPOINT_SCHEMA,
+    JobOutcome,
+    SweepResult,
+    run_batch,
+    sweep_id_of,
+)
+from .progress import (
+    ProgressEvent,
+    ProgressPrinter,
+    SweepReporter,
+    tee,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CHECKPOINT_SCHEMA",
+    "CODE_VERSION_SALT",
+    "JobOutcome",
+    "JobSpec",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "ResultCache",
+    "SweepReporter",
+    "SweepResult",
+    "canonical_json",
+    "canonical_value",
+    "execute_job",
+    "run_batch",
+    "sweep_id_of",
+    "tee",
+]

@@ -1,0 +1,113 @@
+"""On-disk, content-addressed result store for batch jobs.
+
+Layout: ``<root>/ab/<key>.json`` where ``ab`` is the first two hex
+digits of the 64-hex-digit cache key (so no directory ever holds more
+than a fraction of the entries).  Every entry is one complete JSON
+document written atomically (temp file + ``os.replace``), so concurrent
+workers — even workers killed mid-write — can never publish a truncated
+entry.  Corrupt or foreign files read as cache *misses*, never errors.
+
+The key already encodes the code-version salt
+(:data:`~repro.exec.jobs.CODE_VERSION_SALT`), so stale results from an
+older algorithm generation are simply never looked up again;
+:meth:`ResultCache.clear` reclaims the disk space.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..bench.runner import RunRecord
+from ..io.fsutil import atomic_write_text
+from ..io.json_report import run_record_from_dict, run_record_to_dict
+from .jobs import JobSpec
+
+PathLike = Union[str, Path]
+
+CACHE_SCHEMA = "repro-exec-cache/1"
+
+
+class ResultCache:
+    """Maps job cache keys to persisted :class:`RunRecord` payloads."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw entry payload, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("key") != key
+        ):
+            return None
+        return payload
+
+    def get_record(self, key: str) -> Optional[RunRecord]:
+        """The cached :class:`RunRecord`, or ``None`` on miss."""
+        payload = self.get(key)
+        if payload is None:
+            return None
+        try:
+            return run_record_from_dict(payload["record"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, spec: JobSpec, record: RunRecord) -> Path:
+        """Persist one result atomically and return its path."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "job": spec.describe(),
+            "record": run_record_to_dict(record),
+        }
+        return atomic_write_text(
+            self.path_for(key),
+            json.dumps(payload, indent=2, sort_keys=True),
+        )
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """Every key currently stored (filesystem order)."""
+        for path in self.root.glob("??/*.json"):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

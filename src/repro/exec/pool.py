@@ -1,0 +1,578 @@
+"""Fault-tolerant parallel execution of batch jobs.
+
+``run_batch`` fans a list of :class:`~repro.exec.jobs.JobSpec`s out
+across ``workers`` OS processes (one process per in-flight job — a
+crashed, killed, or hung worker takes down *that job only*, never the
+sweep), with:
+
+* a **content-addressed cache** consulted before any work is scheduled
+  and updated after every success, so a warm re-run does no routing and
+  an interrupted sweep restarts from its completed jobs;
+* a **per-job timeout** — an overdue worker is terminated and the
+  attempt counts as failed;
+* **bounded retry with exponential backoff** — each failed attempt
+  requeues the job until ``retries`` extra attempts are exhausted, after
+  which the job is reported as failed in the sweep summary;
+* a **sweep checkpoint** (when a cache is attached) recording every
+  job's status, rewritten atomically as the sweep progresses;
+* **progress events** for every state change (see
+  :mod:`~repro.exec.progress`) and optional per-job + rollup manifests.
+
+``workers=0`` runs jobs inline in the calling process — same cache,
+retry and reporting semantics, no subprocesses (and therefore no crash
+isolation and no timeout enforcement); it is the default for library
+callers like :func:`repro.bench.runner.run_suite` so single-threaded
+behaviour stays identical to the historical serial path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..bench.runner import RunRecord
+from ..errors import ConfigError
+from ..io.fsutil import atomic_write_text
+from ..obs.manifest import build_run_manifest
+from .cache import ResultCache
+from .jobs import JobSpec, execute_job
+from .progress import ProgressEvent, SweepReporter
+
+PathLike = Union[str, Path]
+Runner = Callable[[JobSpec], RunRecord]
+EventConsumer = Callable[[ProgressEvent], None]
+
+CHECKPOINT_SCHEMA = "repro-exec-sweep/1"
+
+#: Scheduler poll interval, seconds.
+_POLL_S = 0.02
+#: Grace period before a terminated worker is SIGKILLed.
+_KILL_GRACE_S = 2.0
+
+
+@dataclass
+class JobOutcome:
+    """Final state of one job in a sweep."""
+
+    spec: JobSpec
+    index: int
+    status: str               # "ok" | "cached" | "failed"
+    record: Optional[RunRecord] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    duration_s: float = 0.0   # wall seconds actually spent computing
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class SweepResult:
+    """Everything one ``run_batch`` call produced."""
+
+    outcomes: List[JobOutcome]
+    wall_s: float
+    sweep_id: str = ""
+    checkpoint_path: Optional[Path] = None
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def all_ok(self) -> bool:
+        return self.n_failed == 0
+
+    def records(self) -> List[Optional[RunRecord]]:
+        """Records in job order (``None`` for failed jobs)."""
+        return [outcome.record for outcome in self.outcomes]
+
+    def failed(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the sweep's closing report)."""
+        lines = [
+            f"sweep {self.sweep_id or '(anonymous)'}: "
+            f"{len(self.outcomes)} job(s) in {self.wall_s:.2f}s wall — "
+            f"{self.n_ok} computed, {self.n_cached} cached, "
+            f"{self.n_failed} failed"
+        ]
+        for outcome in self.failed():
+            lines.append(
+                f"  FAILED {outcome.spec.job_id} "
+                f"after {outcome.attempts} attempt(s): {outcome.error}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_id_of(jobs: Sequence[JobSpec]) -> str:
+    """Deterministic identity of a job list (order-sensitive)."""
+    digest = hashlib.sha256()
+    for spec in jobs:
+        digest.update(spec.cache_key().encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(conn, runner: Runner, spec: JobSpec) -> None:
+    """Subprocess entry point: run one job, ship the result back."""
+    try:
+        record = runner(spec)
+        message = ("ok", record)
+    except BaseException as exc:  # noqa: BLE001 — isolate *everything*
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    except Exception:
+        # Unpicklable result/exception: downgrade to a plain error.
+        try:
+            conn.send(("error", "result not transferable from worker"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Scheduler internals
+# ----------------------------------------------------------------------
+@dataclass
+class _Task:
+    index: int
+    spec: JobSpec
+    key: str
+    attempt: int = 0          # completed attempts so far
+    not_before: float = 0.0   # monotonic time gate (retry backoff)
+    spent_s: float = 0.0      # wall seconds across failed attempts
+
+
+@dataclass
+class _Running:
+    task: _Task
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+class _Sweep:
+    """One run_batch invocation's mutable state."""
+
+    def __init__(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        workers: int,
+        timeout_s: Optional[float],
+        retries: int,
+        backoff_s: float,
+        cache: Optional[ResultCache],
+        runner: Runner,
+        on_event: Optional[EventConsumer],
+        manifest_dir: Optional[Path],
+    ):
+        self.jobs = list(jobs)
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.cache = cache
+        self.runner = runner
+        self.on_event = on_event
+        self.manifest_dir = manifest_dir
+        self.keys = [spec.cache_key() for spec in self.jobs]
+        self.sweep_id = sweep_id_of(self.jobs)
+        self.outcomes: List[Optional[JobOutcome]] = [None] * len(self.jobs)
+        self.checkpoint_path: Optional[Path] = None
+        if cache is not None:
+            self.checkpoint_path = (
+                cache.root / "sweeps" / f"sweep-{self.sweep_id}.json"
+            )
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, task: _Task, **kw: Any) -> None:
+        if self.on_event is None:
+            return
+        self.on_event(
+            ProgressEvent(
+                kind=kind,
+                job_id=task.spec.job_id,
+                index=task.index,
+                total=len(self.jobs),
+                **kw,
+            )
+        )
+
+    def finalize(self, outcome: JobOutcome) -> None:
+        self.outcomes[outcome.index] = outcome
+        self.write_checkpoint()
+
+    def write_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        jobs: Dict[str, Any] = {}
+        for index, spec in enumerate(self.jobs):
+            outcome = self.outcomes[index]
+            jobs[self.keys[index]] = {
+                "job_id": spec.job_id,
+                "status": outcome.status if outcome else "pending",
+                "attempts": outcome.attempts if outcome else 0,
+                "error": outcome.error if outcome else None,
+            }
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "sweep": self.sweep_id,
+            "total": len(self.jobs),
+            "jobs": jobs,
+        }
+        atomic_write_text(
+            self.checkpoint_path,
+            json.dumps(payload, indent=2, sort_keys=True),
+        )
+
+    # ------------------------------------------------------------------
+    def job_succeeded(
+        self, task: _Task, record: RunRecord, duration_s: float
+    ) -> None:
+        if self.cache is not None:
+            self.cache.put(task.key, task.spec, record)
+        self.write_job_manifest(task.spec, record)
+        self.emit(
+            "ok", task, attempt=task.attempt + 1, duration_s=duration_s
+        )
+        self.finalize(
+            JobOutcome(
+                spec=task.spec,
+                index=task.index,
+                status="ok",
+                record=record,
+                attempts=task.attempt + 1,
+                duration_s=task.spent_s + duration_s,
+            )
+        )
+
+    def job_attempt_failed(
+        self, task: _Task, error: str, duration_s: float, now: float
+    ) -> Optional[_Task]:
+        """Returns the requeued task, or None when the job is spent."""
+        task.spent_s += duration_s
+        task.attempt += 1
+        if task.attempt <= self.retries:
+            self.emit("retry", task, attempt=task.attempt, error=error)
+            task.not_before = now + self.backoff_s * (
+                2 ** (task.attempt - 1)
+            )
+            return task
+        self.emit("failed", task, attempt=task.attempt, error=error)
+        self.finalize(
+            JobOutcome(
+                spec=task.spec,
+                index=task.index,
+                status="failed",
+                error=error,
+                attempts=task.attempt,
+                duration_s=task.spent_s,
+            )
+        )
+        return None
+
+    def write_job_manifest(self, spec: JobSpec, record: RunRecord) -> None:
+        if self.manifest_dir is None:
+            return
+        manifest = build_run_manifest(
+            config=spec.resolved_config(),
+            dataset=spec.describe(),
+            result=record.to_row(),
+            metrics=record.metrics,
+        )
+        name = f"{spec.job_id}-{spec.cache_key()[:10]}.manifest.json"
+        manifest.write(Path(self.manifest_dir) / name)
+
+
+# ----------------------------------------------------------------------
+# Execution strategies
+# ----------------------------------------------------------------------
+def _run_inline(sweep: _Sweep, pending: List[_Task]) -> None:
+    """workers=0: run every task in-process (no isolation/timeout)."""
+    for task in pending:
+        while True:
+            sweep.emit("started", task, attempt=task.attempt + 1)
+            started = time.monotonic()
+            try:
+                record = sweep.runner(task.spec)
+            except Exception as exc:  # noqa: BLE001
+                duration = time.monotonic() - started
+                error = f"{type(exc).__name__}: {exc}"
+                requeued = sweep.job_attempt_failed(
+                    task, error, duration, time.monotonic()
+                )
+                if requeued is None:
+                    break
+                delay = requeued.not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            sweep.job_succeeded(task, record, time.monotonic() - started)
+            break
+
+
+def _mp_context():
+    """Fork where the platform has it (cheap, inherits the loaded
+    package), spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _reap(running: _Running) -> None:
+    """Make sure a finished/overdue worker is fully gone."""
+    process = running.process
+    process.join(timeout=_KILL_GRACE_S)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=_KILL_GRACE_S)
+    if process.is_alive():  # pragma: no cover - last resort
+        process.kill()
+        process.join()
+    running.conn.close()
+
+
+def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
+    """workers>=1: one subprocess per in-flight job."""
+    ctx = _mp_context()
+    queue: List[_Task] = list(pending)
+    running: Dict[int, _Running] = {}
+
+    def launch(task: _Task, now: float) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, sweep.runner, task.spec),
+            daemon=True,
+        )
+        sweep.emit("started", task, attempt=task.attempt + 1)
+        process.start()
+        child_conn.close()
+        deadline = (
+            now + sweep.timeout_s if sweep.timeout_s is not None else None
+        )
+        running[task.index] = _Running(
+            task=task,
+            process=process,
+            conn=parent_conn,
+            started=now,
+            deadline=deadline,
+        )
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Launch every eligible task while worker slots are free.
+            queue.sort(key=lambda t: (t.not_before, t.index))
+            while queue and len(running) < sweep.workers:
+                if queue[0].not_before > now:
+                    break
+                launch(queue.pop(0), now)
+
+            progressed = False
+            for index in list(running):
+                run = running[index]
+                task = run.task
+                message = None
+                died = False
+                if run.conn.poll():
+                    try:
+                        message = run.conn.recv()
+                    except (EOFError, OSError):
+                        died = True
+                elif not run.process.is_alive():
+                    # One final drain: the worker may have sent its
+                    # result between our poll and its exit.
+                    if run.conn.poll():
+                        try:
+                            message = run.conn.recv()
+                        except (EOFError, OSError):
+                            died = True
+                    else:
+                        died = True
+
+                duration = now - run.started
+                if message is not None:
+                    progressed = True
+                    del running[index]
+                    _reap(run)
+                    status, payload = message
+                    if status == "ok":
+                        sweep.job_succeeded(task, payload, duration)
+                    else:
+                        requeued = sweep.job_attempt_failed(
+                            task, str(payload), duration, now
+                        )
+                        if requeued is not None:
+                            queue.append(requeued)
+                elif died:
+                    progressed = True
+                    del running[index]
+                    exitcode = run.process.exitcode
+                    _reap(run)
+                    error = f"worker died (exit code {exitcode})"
+                    requeued = sweep.job_attempt_failed(
+                        task, error, duration, now
+                    )
+                    if requeued is not None:
+                        queue.append(requeued)
+                elif run.deadline is not None and now > run.deadline:
+                    progressed = True
+                    del running[index]
+                    run.process.terminate()
+                    _reap(run)
+                    error = f"timeout after {sweep.timeout_s:g}s"
+                    requeued = sweep.job_attempt_failed(
+                        task, error, duration, now
+                    )
+                    if requeued is not None:
+                        queue.append(requeued)
+
+            if not progressed:
+                time.sleep(_POLL_S)
+    finally:
+        # The sweep is being torn down (normal exit or KeyboardInterrupt):
+        # never leave orphan workers behind.
+        for run in running.values():
+            if run.process.is_alive():
+                run.process.terminate()
+        for run in running.values():
+            _reap(run)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def run_batch(
+    jobs: Sequence[JobSpec],
+    *,
+    workers: int = 0,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    cache: Optional[ResultCache] = None,
+    read_cache: bool = True,
+    runner: Runner = execute_job,
+    on_event: Optional[EventConsumer] = None,
+    manifest_dir: Optional[PathLike] = None,
+) -> SweepResult:
+    """Execute ``jobs`` and return one :class:`JobOutcome` per job.
+
+    Args:
+        jobs: the job list; outcomes come back in the same order.
+        workers: subprocess count; ``0`` runs inline in this process.
+        timeout_s: per-attempt wall budget (enforced only with
+            ``workers >= 1``, where an overdue worker can be killed).
+        retries: extra attempts after a failed one (``2`` means a job
+            may run three times before being reported as failed).
+        backoff_s: base delay before attempt *n*'s retry
+            (``backoff_s * 2**(n-1)``).
+        cache: optional :class:`ResultCache`.  Successes are always
+            written through; with ``read_cache`` (the default) hits are
+            returned without scheduling any work — this is also how an
+            interrupted sweep resumes from its completed jobs.
+        read_cache: set ``False`` to force recomputation (results still
+            land in the cache for the next run).
+        runner: the callable executed for each spec (tests inject fault
+            runners here); must be importable from a subprocess.
+        on_event: progress callback (see :mod:`~repro.exec.progress`).
+        manifest_dir: when given, every successful job writes a run
+            manifest there and the sweep writes a ``sweep-<id>``
+            rollup manifest.
+    """
+    if workers < 0:
+        raise ConfigError("run_batch: workers must be >= 0")
+    if retries < 0:
+        raise ConfigError("run_batch: retries must be >= 0")
+    if backoff_s < 0:
+        raise ConfigError("run_batch: backoff_s must be >= 0")
+
+    sweep = _Sweep(
+        jobs,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        cache=cache,
+        runner=runner,
+        on_event=on_event,
+        manifest_dir=Path(manifest_dir) if manifest_dir else None,
+    )
+    started = time.monotonic()
+
+    # Cache pre-pass: satisfied jobs never reach the scheduler.
+    pending: List[_Task] = []
+    for index, spec in enumerate(sweep.jobs):
+        task = _Task(index=index, spec=spec, key=sweep.keys[index])
+        record = None
+        if cache is not None and read_cache:
+            record = cache.get_record(task.key)
+        if record is not None:
+            sweep.emit("cached", task)
+            sweep.outcomes[index] = JobOutcome(
+                spec=spec,
+                index=index,
+                status="cached",
+                record=record,
+                attempts=0,
+            )
+        else:
+            pending.append(task)
+    sweep.write_checkpoint()
+
+    if pending:
+        if workers == 0:
+            _run_inline(sweep, pending)
+        else:
+            _run_pool(sweep, pending)
+
+    wall = time.monotonic() - started
+    result = SweepResult(
+        outcomes=[outcome for outcome in sweep.outcomes if outcome],
+        wall_s=wall,
+        sweep_id=sweep.sweep_id,
+        checkpoint_path=sweep.checkpoint_path,
+    )
+    if sweep.manifest_dir is not None:
+        reporter = SweepReporter()
+        for outcome in result.outcomes:
+            kind = outcome.status if outcome.status != "ok" else "ok"
+            reporter(
+                ProgressEvent(
+                    kind=kind,
+                    job_id=outcome.spec.job_id,
+                    index=outcome.index,
+                    total=len(result.outcomes),
+                    attempt=max(outcome.attempts, 1),
+                    duration_s=outcome.duration_s,
+                    error=outcome.error,
+                )
+            )
+        reporter.rollup_manifest(result).write(
+            sweep.manifest_dir / f"sweep-{sweep.sweep_id}.manifest.json"
+        )
+    return result

@@ -15,14 +15,17 @@ from .netlist_format import (
     write_circuit,
     write_placement,
 )
+from .fsutil import atomic_write_text
 from .json_report import (
     global_result_to_dict,
+    run_record_from_dict,
     run_record_to_dict,
     signoff_to_dict,
     write_json_report,
 )
 
 __all__ = [
+    "atomic_write_text",
     "global_result_to_dict",
     "library_from_dict",
     "library_to_dict",
@@ -32,6 +35,7 @@ __all__ = [
     "parse_placement",
     "read_circuit",
     "read_placement",
+    "run_record_from_dict",
     "run_record_to_dict",
     "signoff_to_dict",
     "write_circuit",

@@ -1,0 +1,49 @@
+"""Filesystem helpers shared by every module that persists results.
+
+The one rule: a reader must never observe a half-written file.  All
+persistent artifacts (suite archives, run manifests, cache entries,
+sweep checkpoints) go through :func:`atomic_write_text`, which writes to
+a temporary file in the destination directory and publishes it with
+``os.replace`` — atomic on POSIX and Windows alike.  Concurrent batch
+jobs sharing an archive or cache directory therefore race only on *which*
+complete file wins, never on file contents.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Parent directories are created as needed.  The temporary file lives
+    in the destination directory so the final rename never crosses a
+    filesystem boundary; it is removed on any failure, so an interrupted
+    or killed writer can never leave a truncated file at ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

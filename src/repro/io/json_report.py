@@ -6,6 +6,7 @@ output is stable, diff-able, and loadable without this package.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -13,6 +14,7 @@ from typing import Any, Dict, Optional, Union
 from ..analysis.signoff import SignoffReport
 from ..bench.runner import RunRecord
 from ..core.result import GlobalRoutingResult, NetRoute
+from .fsutil import atomic_write_text
 
 PathLike = Union[str, Path]
 
@@ -105,8 +107,24 @@ def run_record_to_dict(record: RunRecord) -> Dict[str, Any]:
     return payload
 
 
+def run_record_from_dict(payload: Dict[str, Any]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`run_record_to_dict` output.
+
+    The derived ``gap_to_bound_pct`` column is recomputed, not restored;
+    unknown keys are ignored so newer readers accept older payloads.
+    """
+    names = {f.name for f in dataclasses.fields(RunRecord)}
+    kwargs = {
+        key: value for key, value in payload.items() if key in names
+    }
+    kwargs["metrics"] = dict(payload.get("metrics", {}))
+    return RunRecord(**kwargs)
+
+
 def write_json_report(
     payload: Dict[str, Any], path: PathLike, indent: int = 2
 ) -> None:
-    """Write any serialized payload to a JSON file."""
-    Path(path).write_text(json.dumps(payload, indent=indent, sort_keys=True))
+    """Write any serialized payload to a JSON file (atomically)."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True)
+    )

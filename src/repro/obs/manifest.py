@@ -111,12 +111,13 @@ class RunManifest:
         }
 
     def write(self, path: PathLike) -> Path:
-        path = Path(path)
-        path.write_text(
+        from ..io.fsutil import atomic_write_text
+
+        return atomic_write_text(
+            path,
             json.dumps(self.to_dict(), indent=2, sort_keys=True,
-                       default=str)
+                       default=str),
         )
-        return path
 
 
 def build_run_manifest(

@@ -106,8 +106,11 @@ class TestRoute:
 
     def test_missing_netlist_errors(self, tmp_path, capsys):
         missing = tmp_path / "nope.rnl"
-        with pytest.raises(FileNotFoundError):
-            main(["route", str(missing)])
+        code = main(["route", str(missing)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope.rnl" in err
 
 
 class TestTables:

@@ -1,0 +1,125 @@
+"""End-to-end tests for `repro-router batch` and CLI error hardening."""
+
+from repro.cli import main
+from repro.obs.manifest import read_manifest
+
+
+def run_batch_cli(tmp_path, *extra):
+    return main([
+        "batch",
+        "--suite", "small",
+        "--limit", "2",
+        "--workers", "0",
+        "--cache-dir", str(tmp_path / "cache"),
+        *extra,
+    ])
+
+
+class TestBatchCommand:
+    def test_cold_then_warm_run_hits_cache(self, tmp_path, capsys):
+        code = run_batch_cli(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 0/2" in out
+        assert "2 computed" in out
+
+        code = run_batch_cli(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 2/2" in out
+
+    def test_resume_reports_checkpoint_state(self, tmp_path, capsys):
+        code = run_batch_cli(tmp_path, "--resume")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no prior checkpoint" in out
+
+        code = run_batch_cli(tmp_path, "--resume")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming sweep from" in out
+        assert "cache hits: 2/2" in out
+
+    def test_rollup_manifest_written(self, tmp_path, capsys):
+        rollup = tmp_path / "rollup.json"
+        code = run_batch_cli(tmp_path, "--out", str(rollup))
+        assert code == 0
+        payload = read_manifest(rollup)
+        assert payload["results"]["failed"] == 0
+        assert len(payload["results"]["jobs"]) == 2
+
+    def test_per_job_manifests_written(self, tmp_path, capsys):
+        manifests = tmp_path / "manifests"
+        code = run_batch_cli(tmp_path, "--manifests", str(manifests))
+        assert code == 0
+        names = sorted(p.name for p in manifests.glob("*.json"))
+        assert any(n.startswith("sweep-") for n in names)
+        assert len(names) == 3  # 2 job manifests + 1 rollup
+
+    def test_resume_conflicts_with_no_cache(self, tmp_path, capsys):
+        code = run_batch_cli(tmp_path, "--resume", "--no-cache")
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_empty_selection_is_an_input_error(self, tmp_path, capsys):
+        code = run_batch_cli(tmp_path, "--limit", "0")
+        assert code == 2
+        assert "no jobs" in capsys.readouterr().err
+
+
+class TestCliErrorHardening:
+    """Missing/empty/malformed inputs: one-line error, exit code 2."""
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_trace_summarize_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["trace", "summarize", str(empty)])
+        assert code == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_trace_summarize_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is { not jsonl\n")
+        code = main(["trace", "summarize", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_compare_missing_archive(self, tmp_path, capsys):
+        missing = tmp_path / "gone.json"
+        code = main(["compare", str(missing), str(missing)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "gone.json" in err
+
+    def test_compare_malformed_archive(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["compare", str(bad), str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_route_malformed_netlist(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rnl"
+        bad.write_text("garbage header\n")
+        code = main(["route", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_route_malformed_placement(self, tmp_path, capsys):
+        netlist = tmp_path / "c.rnl"
+        main(["generate", "hard_demo", "--gates", "20",
+              "--out", str(netlist)])
+        capsys.readouterr()
+        bad = tmp_path / "bad.rpl"
+        bad.write_text("not a placement\n")
+        code = main(["route", str(netlist), "--placement", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")

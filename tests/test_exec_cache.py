@@ -1,0 +1,133 @@
+"""Tests for repro.exec.cache: the on-disk content-addressed store."""
+
+import json
+
+from repro.bench.circuits import CircuitSpec, DatasetSpec
+from repro.bench.runner import RunRecord
+from repro.exec import CACHE_SCHEMA, JobSpec, ResultCache
+from repro.io.json_report import run_record_from_dict, run_record_to_dict
+from repro.layout.placer import FeedStyle
+
+
+def tiny_job(name="CCH", seed=1):
+    return JobSpec(
+        DatasetSpec(
+            name,
+            CircuitSpec(
+                "C", n_gates=20, n_flops=3, n_inputs=3, n_outputs=2,
+                n_diff_pairs=0, seed=seed,
+            ),
+            FeedStyle.EVEN,
+            n_constraints=2,
+        )
+    )
+
+
+def fake_record(name="CCH", delay=123.5):
+    return RunRecord(
+        dataset=name,
+        constrained=True,
+        delay_ps=delay,
+        area_mm2=1.25,
+        length_mm=2.5,
+        cpu_s=0.01,
+        lower_bound_ps=100.0,
+        violations=0,
+        worst_margin_ps=7.5,
+        cells=10,
+        nets=12,
+        n_constraints=2,
+        feed_cells_inserted=1,
+        deletions=3,
+        reroutes=1,
+        metrics={"router.deletions": 3.0},
+    )
+
+
+class TestRecordSerialization:
+    def test_roundtrip_preserves_row_and_metrics(self):
+        record = fake_record()
+        clone = run_record_from_dict(run_record_to_dict(record))
+        assert clone.to_row() == record.to_row()
+        assert clone.metrics == record.metrics
+
+    def test_derived_column_recomputed_not_trusted(self):
+        payload = run_record_to_dict(fake_record())
+        payload["gap_to_bound_pct"] = 999.0  # tampered derived column
+        clone = run_record_from_dict(payload)
+        assert clone.gap_to_bound_pct != 999.0
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = tiny_job()
+        key = job.cache_key()
+        assert cache.get_record(key) is None
+        record = fake_record()
+        cache.put(key, job, record)
+        assert cache.contains(key)
+        loaded = cache.get_record(key)
+        assert loaded is not None
+        assert loaded.to_row() == record.to_row()
+
+    def test_entry_payload_carries_job_identity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job.cache_key(), job, fake_record())
+        payload = cache.get(job.cache_key())
+        assert payload["schema"] == CACHE_SCHEMA
+        assert payload["job"]["job_id"] == job.job_id
+        assert payload["key"] == job.cache_key()
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        cache.put(job.cache_key(), job, fake_record())
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        key = job.cache_key()
+        cache.put(key, job, fake_record())
+        cache.path_for(key).write_text('{"trunc')  # simulated torn write
+        assert cache.get(key) is None
+        assert cache.get_record(key) is None
+
+    def test_foreign_json_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = tiny_job().cache_key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": "other/1", "key": key}))
+        assert cache.get(key) is None
+
+    def test_key_mismatch_reads_as_miss(self, tmp_path):
+        # An entry filed under the wrong name must not be trusted.
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        other = tiny_job(seed=2)
+        stored = cache.put(job.cache_key(), job, fake_record())
+        target = cache.path_for(other.cache_key())
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(stored.read_text())
+        assert cache.get(other.cache_key()) is None
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [tiny_job(seed=s) for s in (1, 2, 3)]
+        for job in jobs:
+            cache.put(job.cache_key(), job, fake_record())
+        assert len(cache) == 3
+        assert sorted(cache.keys()) == sorted(
+            j.cache_key() for j in jobs
+        )
+        assert cache.invalidate(jobs[0].cache_key())
+        assert not cache.invalidate(jobs[0].cache_key())  # already gone
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0

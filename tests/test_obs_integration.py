@@ -210,7 +210,7 @@ class TestCliTrace:
 
     def test_summarize_missing_file_errors(self, tmp_path, capsys):
         code = main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
-        assert code == 1
+        assert code == 2  # unusable input
         assert "cannot read trace" in capsys.readouterr().err
 
 
