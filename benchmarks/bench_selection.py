@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Selection-engine benchmark: incremental candidate heap vs full rescan.
+
+Routes each design twice — ``selection_engine="rescan"`` (the seed's
+O(deletions × candidates) scan) and ``"incremental"`` (the
+lazy-invalidation heap) — asserts the deletion sequences are identical,
+and reports selection-key evaluations per deletion plus wall clock for
+both.
+
+Modes::
+
+    python benchmarks/bench_selection.py --smoke   # small suite, CI gate
+    python benchmarks/bench_selection.py           # standard suite report
+
+``--smoke`` exits non-zero if any design's sequences diverge or the
+incremental engine evaluates *more* keys than the rescan — the cheap
+always-on guard CI runs on every push.  The full mode additionally
+checks the ISSUE's headline acceptance bar: ≥5× fewer key evaluations
+per deletion on the largest design (C3P1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.circuits import make_dataset, small_suite, standard_suite
+from repro.core import GlobalRouter, RouterConfig
+from repro.obs import MemorySink
+
+LARGEST = "C3P1"
+REQUIRED_SPEEDUP = 5.0
+
+
+def route_once(spec, engine):
+    """Route one design under one engine; returns comparable artifacts."""
+    dataset = make_dataset(spec)
+    sink = MemorySink()
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(selection_engine=engine),
+        trace_sink=sink,
+    )
+    start = time.perf_counter()
+    result = router.route()
+    wall = time.perf_counter() - start
+    sequence = [
+        (e.data["net"], e.data["edge"], e.data["criterion"])
+        for e in sink.of_kind("edge_deleted")
+    ]
+    flat = router.metrics.flat()
+    return {
+        "wall_s": wall,
+        "sequence": sequence,
+        "deletions": result.deletions,
+        "total_length_um": result.total_length_um,
+        "key_evals": int(flat["router.key_evals"]),
+        "key_recomputes": int(flat["router.key_recomputes"]),
+        "heap_pops": int(flat.get("router.heap_pops", 0)),
+        "heap_stale": int(flat.get("router.heap_stale", 0)),
+    }
+
+
+def compare_design(spec):
+    rescan = route_once(spec, "rescan")
+    incremental = route_once(spec, "incremental")
+    failures = []
+    if incremental["sequence"] != rescan["sequence"]:
+        first = next(
+            (
+                i
+                for i, (a, b) in enumerate(
+                    zip(rescan["sequence"], incremental["sequence"])
+                )
+                if a != b
+            ),
+            min(len(rescan["sequence"]), len(incremental["sequence"])),
+        )
+        failures.append(
+            f"{spec.name}: deletion sequences diverge at index {first}"
+        )
+    if incremental["key_evals"] > rescan["key_evals"]:
+        failures.append(
+            f"{spec.name}: incremental evaluates MORE keys "
+            f"({incremental['key_evals']} > {rescan['key_evals']})"
+        )
+    if incremental["key_recomputes"] > rescan["key_recomputes"]:
+        failures.append(
+            f"{spec.name}: incremental recomputes MORE keys "
+            f"({incremental['key_recomputes']} > "
+            f"{rescan['key_recomputes']})"
+        )
+    return rescan, incremental, failures
+
+
+def per_deletion(run):
+    return run["key_evals"] / max(1, run["deletions"])
+
+
+def report_line(name, rescan, incremental):
+    ratio = per_deletion(rescan) / max(1e-9, per_deletion(incremental))
+    return (
+        f"{name:6s} dels {rescan['deletions']:5d}  "
+        f"key-evals/del {per_deletion(rescan):8.1f} -> "
+        f"{per_deletion(incremental):7.1f}  ({ratio:4.1f}x)  "
+        f"wall {rescan['wall_s']:6.2f}s -> {incremental['wall_s']:6.2f}s  "
+        f"stale-pops {incremental['heap_stale']}"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small suite only; assert equivalence + no extra key evals",
+    )
+    args = parser.parse_args(argv)
+
+    suite = small_suite() if args.smoke else standard_suite()
+    failures = []
+    print(
+        "selection-engine bench "
+        f"({'smoke/small' if args.smoke else 'standard'} suite)"
+    )
+    for spec in suite:
+        rescan, incremental, design_failures = compare_design(spec)
+        failures.extend(design_failures)
+        print(report_line(spec.name, rescan, incremental))
+        if not args.smoke and spec.name == LARGEST:
+            speedup = per_deletion(rescan) / max(
+                1e-9, per_deletion(incremental)
+            )
+            if speedup < REQUIRED_SPEEDUP:
+                failures.append(
+                    f"{LARGEST}: key-evals/deletion speedup {speedup:.1f}x "
+                    f"below the required {REQUIRED_SPEEDUP:.0f}x"
+                )
+            if incremental["wall_s"] > 1.10 * rescan["wall_s"]:
+                failures.append(
+                    f"{LARGEST}: incremental wall clock regressed "
+                    f"({incremental['wall_s']:.2f}s vs "
+                    f"{rescan['wall_s']:.2f}s rescan)"
+                )
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("ok: identical sequences, incremental never evaluates more keys")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

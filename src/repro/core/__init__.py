@@ -1,6 +1,7 @@
 """The paper's primary contribution: the timing- and area-driven
 edge-deletion global router (Sections 3.1–3.5)."""
 
+from .candidates import CandidateEngine, RescanSelector
 from .config import RouterConfig
 from .density import DensityEngine, ChannelStats, EdgeDensityParams
 from .criteria import (
@@ -16,6 +17,7 @@ from .router import GlobalRouter
 from .verify import verify_routing
 
 __all__ = [
+    "CandidateEngine",
     "ChannelStats",
     "DelayCriteria",
     "DensityEngine",
@@ -25,6 +27,7 @@ __all__ = [
     "NetRoute",
     "NetTimingContext",
     "PhaseEvent",
+    "RescanSelector",
     "RouterConfig",
     "SelectionMode",
     "evaluate_delay_criteria",

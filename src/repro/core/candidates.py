@@ -1,0 +1,268 @@
+"""Incremental candidate selection for the edge-deletion loop.
+
+The paper's loop (Fig. 2, lines 04–07) repeatedly picks the minimum of a
+lexicographic selection key over *all* nets' deletable edges.  The seed
+implementation rescans every candidate each iteration — an
+``O(deletions × candidates)`` Python loop.  :class:`CandidateEngine`
+replaces the rescan with a lazy-invalidation min-heap:
+
+* every candidate has at least one heap entry
+  ``(key, dens_version, timing_version, net_name, edge_id)``;
+* the engine subscribes to :class:`~repro.core.density.DensityEngine`
+  version bumps, so a deletion marks dirty exactly the candidates whose
+  channel profile changed (plus — when the global timing version bumps —
+  the candidates of timing-constrained nets, whose ``C_d/Gl/LD`` sub-key
+  depends on the analysis);
+* ``select()`` re-keys the dirty candidates, pushes fresh entries, and
+  pops until it finds an entry that is alive, non-essential, and carries
+  current version stamps.  Stale entries are discarded (their candidate
+  either died or owns a fresher duplicate) and, defensively, re-pushed
+  fresh when the candidate is still live.
+
+Because the version stamps are exactly the ones the router's per-net key
+cache already uses to decide staleness, every fresh entry's key equals
+the key a full rescan would compute — so the heap's minimum is the
+rescan's minimum and the engine provably reproduces the seed router's
+deletion sequence (asserted on the standard suite by
+``tests/test_selection_equivalence.py``).
+
+:class:`RescanSelector` wraps the seed's full scan behind the same
+two-method interface; ``RouterConfig.selection_engine`` picks between
+them, and ``benchmarks/bench_selection.py`` quantifies the difference in
+selection-key evaluations per deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from .selection import SelectionMode, winning_criterion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .router import GlobalRouter, _NetState
+
+Handle = Tuple[str, int]
+"""A candidate's identity: ``(net_name, edge_id)``."""
+
+
+class RescanSelector:
+    """Baseline selector: full scan of every candidate per pick."""
+
+    def __init__(
+        self,
+        router: "GlobalRouter",
+        states: Sequence["_NetState"],
+        mode: SelectionMode,
+    ):
+        self._router = router
+        self._states = list(states)
+        self._mode = mode
+
+    def select(self) -> Optional[Tuple["_NetState", int]]:
+        return self._router._best_candidate(self._states, self._mode)
+
+    def close(self) -> None:
+        pass
+
+
+class CandidateEngine:
+    """Incremental arg-min over the tracked states' deletable edges.
+
+    One engine serves one deletion loop: it indexes the loop's candidates
+    at construction, listens to density-version bumps for its lifetime,
+    and must be :meth:`close`-d when the loop ends (the router does this
+    in a ``finally``).  Candidates only ever *leave* the pool mid-loop —
+    edges die or become essential, never the reverse — so no insertion
+    path beyond the initial build is needed.
+    """
+
+    def __init__(
+        self,
+        router: "GlobalRouter",
+        states: Sequence["_NetState"],
+        mode: SelectionMode,
+    ):
+        self._router = router
+        self._mode = mode
+        self._density = router.engine
+        self._states: Dict[str, "_NetState"] = {}
+        self._heap: List[tuple] = []
+        self._by_channel: Dict[int, Set[Handle]] = {}
+        self._timing_sensitive: Set[Handle] = set()
+        self._dirty: Set[Handle] = set()
+        self._m_pops = router.metrics.counter("router.heap_pops")
+        self._m_stale = router.metrics.counter("router.heap_stale")
+
+        # Settle the timing version before any key is computed, exactly
+        # as the rescan does at the top of its first scan.
+        if router.config.timing_driven:
+            router._ensure_timings()
+        self._timing_seen = router._timing_version
+
+        timing_driven = router.config.timing_driven
+        for state in states:
+            name = state.net.name
+            self._states[name] = state
+            sensitive = timing_driven and state.context.constrained
+            for edge_id in state.graph.deletable_edges():
+                handle = (name, edge_id)
+                channel = state.graph.edges[edge_id].channel
+                self._by_channel.setdefault(channel, set()).add(handle)
+                if sensitive:
+                    self._timing_sensitive.add(handle)
+                self._heap.append(self._entry(state, edge_id))
+        heapq.heapify(self._heap)
+        self._density.subscribe(self._on_channel_touched)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self) -> Optional[Tuple["_NetState", int]]:
+        """The candidate a full rescan would pick, or ``None`` when the
+        loop has converged."""
+        router = self._router
+        self.refresh()
+
+        best = self._pop_live()
+        if best is None:
+            return None
+        entry, state, edge_id = best
+        if router.tracer.enabled:
+            # Exclude the winner itself: duplicate fresh entries of one
+            # candidate would otherwise masquerade as a runner-up tie.
+            runner = self._pop_live(exclude=(state.net.name, edge_id))
+            runner_key = None
+            if runner is not None:
+                heapq.heappush(self._heap, runner[0])
+                runner_key = runner[0][0]
+            router._last_selection = winning_criterion(
+                entry[0], runner_key, self._mode
+            )
+        return state, edge_id
+
+    def refresh(self) -> None:
+        """Bring the heap up to date with the world: settle timings,
+        widen the dirty set if the timing version bumped, and re-push a
+        fresh entry for every dirty candidate."""
+        router = self._router
+        if router.config.timing_driven:
+            router._ensure_timings()
+            if router._timing_version != self._timing_seen:
+                self._dirty |= self._timing_sensitive
+                self._timing_seen = router._timing_version
+        self._flush_dirty()
+
+    def current_keys(self) -> Dict[Handle, tuple]:
+        """Keys of every fresh-stamped live heap entry, by handle.
+
+        A verification aid (used by the selection property test): after
+        :meth:`refresh`, every surviving candidate must appear here and
+        its key must equal a freshly computed ``selection_key``.
+        """
+        self.refresh()
+        keys: Dict[Handle, tuple] = {}
+        density_version = self._density.version
+        timing_version = self._router._timing_version
+        for entry in self._heap:
+            key, dens_seen, timing_seen, name, edge_id = entry
+            state = self._states[name]
+            graph = state.graph
+            if not graph.alive[edge_id] or graph.essential[edge_id]:
+                continue
+            if dens_seen != density_version[graph.edges[edge_id].channel]:
+                continue
+            if (
+                (name, edge_id) in self._timing_sensitive
+                and timing_seen != timing_version
+            ):
+                continue
+            keys[(name, edge_id)] = key
+        return keys
+
+    def close(self) -> None:
+        """Stop listening to density bumps (loop over)."""
+        self._density.unsubscribe(self._on_channel_touched)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_channel_touched(self, channel: int) -> None:
+        subscribed = self._by_channel.get(channel)
+        if subscribed:
+            self._dirty |= subscribed
+
+    def _entry(self, state: "_NetState", edge_id: int) -> tuple:
+        """A heap entry with the key and the versions it was built at.
+
+        ``_key_for`` caches per ``(dens_version, timing_version)``, so a
+        re-key of an unchanged candidate is a dict hit, not an eval.
+        """
+        key = self._router._key_for(state, edge_id, self._mode)
+        channel = state.graph.edges[edge_id].channel
+        return (
+            key,
+            self._density.version[channel],
+            self._router._timing_version,
+            state.net.name,
+            edge_id,
+        )
+
+    def _flush_dirty(self) -> None:
+        """Re-key every dirty candidate that is still selectable."""
+        if not self._dirty:
+            return
+        for handle in self._dirty:
+            state = self._states[handle[0]]
+            edge_id = handle[1]
+            if (
+                not state.graph.alive[edge_id]
+                or state.graph.essential[edge_id]
+            ):
+                self._forget(handle)
+                continue
+            heapq.heappush(self._heap, self._entry(state, edge_id))
+        self._dirty.clear()
+
+    def _pop_live(
+        self, exclude: Optional[Handle] = None
+    ) -> Optional[Tuple[tuple, "_NetState", int]]:
+        """Pop until an alive, non-essential, current-stamped entry."""
+        heap = self._heap
+        router = self._router
+        density_version = self._density.version
+        while heap:
+            entry = heapq.heappop(heap)
+            self._m_pops.inc()
+            key, dens_version, timing_version, name, edge_id = entry
+            if (name, edge_id) == exclude:
+                continue
+            state = self._states[name]
+            graph = state.graph
+            if not graph.alive[edge_id] or graph.essential[edge_id]:
+                self._m_stale.inc()
+                self._forget((name, edge_id))
+                continue
+            stale = (
+                dens_version != density_version[graph.edges[edge_id].channel]
+                or (
+                    (name, edge_id) in self._timing_sensitive
+                    and timing_version != router._timing_version
+                )
+            )
+            if stale:
+                # A fresh duplicate already sits in the heap (the dirty
+                # flush re-pushed it); re-pushing here is a cheap cache
+                # hit that keeps the engine correct even if it did not.
+                self._m_stale.inc()
+                heapq.heappush(heap, self._entry(state, edge_id))
+                continue
+            return entry, state, edge_id
+        return None
+
+    def _forget(self, handle: Handle) -> None:
+        """Drop a dead candidate from the invalidation indices."""
+        state = self._states[handle[0]]
+        channel = state.graph.edges[handle[1]].channel
+        self._by_channel.get(channel, set()).discard(handle)
+        self._timing_sensitive.discard(handle)

@@ -38,6 +38,12 @@ class RouterConfig:
         tree_estimator: tentative-tree estimator — ``"spt"`` (the paper's
             union of shortest paths) or ``"steiner"`` (KMB Steiner
             approximation; tighter lengths, ~10-50× slower).
+        selection_engine: how each deletion-loop iteration finds the best
+            candidate — ``"incremental"`` (default; lazy-invalidation
+            min-heap that re-keys only candidates invalidated by the last
+            deletion) or ``"rescan"`` (the seed's full scan of every
+            candidate, kept as the equivalence/bench baseline).  Both
+            produce the identical deletion sequence.
         assignment_order: feedthrough-assignment net order — ``None``
             picks the paper's behaviour (ascending zero-wire slack when
             timing-driven, netlist order otherwise); explicit options are
@@ -63,6 +69,7 @@ class RouterConfig:
     revert_worse_reroutes: bool = True
     reassign_slots_on_reroute: bool = True
     tree_estimator: str = "spt"
+    selection_engine: str = "incremental"
     assignment_order: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -79,6 +86,10 @@ class RouterConfig:
         if self.tree_estimator not in ("spt", "steiner"):
             raise ConfigError(
                 f"unknown tree_estimator {self.tree_estimator!r}"
+            )
+        if self.selection_engine not in ("incremental", "rescan"):
+            raise ConfigError(
+                f"unknown selection_engine {self.selection_engine!r}"
             )
         if self.assignment_order not in (
             None, "slack", "netlist", "fanout", "hpwl",
@@ -106,5 +117,6 @@ class RouterConfig:
             revert_worse_reroutes=self.revert_worse_reroutes,
             reassign_slots_on_reroute=self.reassign_slots_on_reroute,
             tree_estimator=self.tree_estimator,
+            selection_engine=self.selection_engine,
             assignment_order=self.assignment_order,
         )

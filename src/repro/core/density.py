@@ -28,7 +28,7 @@ column the edge occupies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -68,7 +68,10 @@ class DensityEngine:
 
     The router caches selection keys per candidate edge; ``version[c]``
     lets it detect exactly which cached density sub-keys went stale after
-    a deletion touched channel ``c``.
+    a deletion touched channel ``c``.  Listeners registered through
+    :meth:`subscribe` are called with the channel index on every version
+    bump — the incremental candidate engine uses this to re-key only the
+    candidates whose channel actually changed.
     """
 
     def __init__(self, n_channels: int, width_columns: int):
@@ -86,6 +89,7 @@ class DensityEngine:
         ]
         self.version = [0] * n_channels
         self._stats_cache: Dict[int, ChannelStats] = {}
+        self._listeners: List[Callable[[int], None]] = []
         # Plain-int telemetry: profile updates vs. stats recomputes
         # without putting any instrument call on this hot path.  The
         # router copies these into its metrics registry at run end.
@@ -118,12 +122,7 @@ class DensityEngine:
             return
         channel = edge.channel
         self._check_channel(channel)
-        lo, hi = coverage_columns(edge)
-        if hi >= self.width_columns:
-            raise RoutingError(
-                f"trunk edge covers column {hi} beyond chip width "
-                f"{self.width_columns}"
-            )
+        lo, hi = self._checked_coverage(edge)
         maps[channel][lo : hi + 1] += delta
         if maps[channel][lo : hi + 1].min() < 0:
             raise RoutingError(
@@ -133,6 +132,35 @@ class DensityEngine:
         self.version[channel] += 1
         self.updates += 1
         self._stats_cache.pop(channel, None)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(channel)
+
+    def _checked_coverage(self, edge: RouteEdge) -> Tuple[int, int]:
+        """Coverage columns of ``edge``, bounds-checked against the chip.
+
+        Both the profile updates and the per-edge parameter queries go
+        through here, so an out-of-range edge fails identically on both
+        paths instead of being counted by one and silently clamped by the
+        other.
+        """
+        lo, hi = coverage_columns(edge)
+        if lo < 0 or hi >= self.width_columns:
+            raise RoutingError(
+                f"{edge.kind.value} edge covers columns {lo}..{hi} beyond "
+                f"chip width {self.width_columns}"
+            )
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(channel)`` after every profile version bump."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[int], None]) -> None:
+        self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Queries
@@ -163,8 +191,7 @@ class DensityEngine:
         channel = edge.channel
         self._check_channel(channel)
         stats = self.channel_stats(channel)
-        lo, hi = coverage_columns(edge)
-        hi = min(hi, self.width_columns - 1)
+        lo, hi = self._checked_coverage(edge)
         window_max = self.d_max[channel][lo : hi + 1]
         window_min = self.d_min[channel][lo : hi + 1]
         return EdgeDensityParams(

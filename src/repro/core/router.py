@@ -16,6 +16,11 @@ Flow (line numbers refer to the paper's Algorithm Global_Router):
 Everything the criteria need is cached with version stamps: per-channel
 density versions, a global timing version, and per-net graph state, so
 the selection loop recomputes only keys invalidated by the last deletion.
+By default each loop runs on the incremental
+:class:`~repro.core.candidates.CandidateEngine` (a lazy-invalidation
+min-heap over those same version stamps); ``RouterConfig.selection_engine
+= "rescan"`` selects the original full-scan baseline, which produces the
+identical deletion sequence one full candidate sweep at a time.
 
 Observability: the router emits structured trace events (``run_start``,
 ``phase_start/end``, ``edge_deleted`` with the winning criterion,
@@ -63,6 +68,7 @@ from ..timing.sta import (
     WireCaps,
     net_criticality_order,
 )
+from .candidates import CandidateEngine, RescanSelector
 from .config import RouterConfig
 from .criteria import DelayCriteria, NetTimingContext, evaluate_delay_criteria
 from .density import DensityEngine
@@ -155,6 +161,10 @@ class GlobalRouter:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self._m_deletions = self.metrics.counter("router.deletions")
+        self._m_key_evals = self.metrics.counter("router.key_evals")
+        self._m_key_recomputes = self.metrics.counter(
+            "router.key_recomputes"
+        )
         self._m_reroutes = self.metrics.counter("router.reroutes")
         self._m_reverted = self.metrics.counter("router.reroutes_reverted")
         self._m_timing = self.metrics.counter("router.timing_analyses")
@@ -497,6 +507,7 @@ class GlobalRouter:
     def _key_for(
         self, state: _NetState, edge_id: int, mode: SelectionMode
     ) -> tuple:
+        self._m_key_evals.inc()
         edge = state.graph.edges[edge_id]
         dens_version = self.engine.version[edge.channel]
         cached = state.key_cache.get(edge_id)
@@ -506,6 +517,7 @@ class GlobalRouter:
                 cached_timing == self._timing_version
             ):
                 return key
+        self._m_key_recomputes.inc()
         delay = DelayCriteria.ZERO
         if self.config.timing_driven and state.context.constrained:
             timings = self._ensure_timings()
@@ -556,6 +568,12 @@ class GlobalRouter:
     # ==================================================================
     # Deletion
     # ==================================================================
+    def _make_selector(self, states: Sequence[_NetState], mode: SelectionMode):
+        """The configured candidate selector for one deletion loop."""
+        if self.config.selection_engine == "incremental":
+            return CandidateEngine(self, states, mode)
+        return RescanSelector(self, states, mode)
+
     def _deletion_loop(
         self, states: Sequence[_NetState], mode: SelectionMode
     ) -> int:
@@ -564,13 +582,17 @@ class GlobalRouter:
         Returns the number of deletions performed.
         """
         count = 0
-        while True:
-            choice = self._best_candidate(states, mode)
-            if choice is None:
-                return count
-            state, edge_id = choice
-            self._delete_edge(state, edge_id)
-            count += 1
+        selector = self._make_selector(states, mode)
+        try:
+            while True:
+                choice = selector.select()
+                if choice is None:
+                    return count
+                state, edge_id = choice
+                self._delete_edge(state, edge_id)
+                count += 1
+        finally:
+            selector.close()
 
     def _delete_edge(self, state: _NetState, edge_id: int) -> None:
         """Delete one edge plus its differential mirror; update caches."""

@@ -88,6 +88,40 @@ def winning_criterion(
     return "tie_break", min(len(best), len(runner_up))
 
 
+def density_subkey(
+    edge: RouteEdge, stats: ChannelStats, params: EdgeDensityParams
+) -> Tuple:
+    """Conditions 4–8 of the comparison (smaller is better).
+
+    This sub-key is a pure function of the candidate edge and its
+    channel's density profiles, so it goes stale exactly when
+    ``DensityEngine.version[edge.channel]`` bumps — the invariant the
+    incremental candidate engine's heap stamps rely on.
+    """
+    return (
+        0 if edge.is_trunk else 1,       # condition 4: prefer trunks
+        stats.c_min - params.d_min,      # condition 5: F_m
+        stats.nc_min - params.nd_min,    # condition 6: N_m
+        stats.c_max - params.d_max,      # condition 7: F_M
+        stats.nc_max - params.nd_max,    # condition 8: N_M
+    )
+
+
+def delay_subkey(delay: DelayCriteria) -> Tuple:
+    """Conditions 1–3 (``C_d``, ``Gl``, ``LD``; smaller is better).
+
+    A pure function of the net's delay criteria, which change only when
+    a timing analysis ran (the router's ``_timing_version``); for nets
+    without constraints it is the constant ``DelayCriteria.ZERO`` and
+    never goes stale at all.
+    """
+    return (
+        delay.critical_count,
+        delay.global_delay,
+        delay.local_delay,
+    )
+
+
 def selection_key(
     edge: RouteEdge,
     delay: DelayCriteria,
@@ -101,18 +135,8 @@ def selection_key(
     ``tie_break`` is appended last for determinism (typically
     ``(net_name, edge_index)``).
     """
-    density_part = (
-        0 if edge.is_trunk else 1,       # condition 4: prefer trunks
-        stats.c_min - params.d_min,      # condition 5: F_m
-        stats.nc_min - params.nd_min,    # condition 6: N_m
-        stats.c_max - params.d_max,      # condition 7: F_M
-        stats.nc_max - params.nd_max,    # condition 8: N_M
-    )
-    delay_part = (
-        delay.critical_count,
-        delay.global_delay,
-        delay.local_delay,
-    )
+    density_part = density_subkey(edge, stats, params)
+    delay_part = delay_subkey(delay)
     length_part = (-edge.length_um,)     # condition 9: longer edge wins
     if mode is SelectionMode.TIMING:
         return (
@@ -120,9 +144,9 @@ def selection_key(
         )
     # AREA mode: C_d first, then densities, then Gl / LD.
     return (
-        (delay.critical_count,)
+        delay_part[:1]
         + density_part
-        + (delay.global_delay, delay.local_delay)
+        + delay_part[1:]
         + length_part
         + tuple(tie_break)
     )

@@ -81,6 +81,23 @@ class TestEngine:
         with pytest.raises(RoutingError):
             engine.add_edge(trunk(0, 0, 0, 9))
 
+    def test_edge_params_beyond_width_raises(self):
+        """Regression: ``edge_params`` used to clamp an out-of-range
+        coverage window silently (returning stats for the wrong columns)
+        while ``_apply`` raised for the very same edge."""
+        engine = DensityEngine(1, 5)
+        engine.add_edge(trunk(0, 0, 0, 4))
+        with pytest.raises(RoutingError):
+            engine.edge_params(trunk(1, 0, 0, 9))
+        with pytest.raises(RoutingError):
+            engine.edge_params(branch(2, 0, 7))
+
+    def test_edge_params_in_range_still_works(self):
+        engine = DensityEngine(1, 5)
+        engine.add_edge(trunk(0, 0, 0, 4))
+        params = engine.edge_params(trunk(1, 0, 1, 3))
+        assert params.d_max == 1
+
     def test_channel_stats(self):
         engine = DensityEngine(1, 10)
         engine.add_edge(trunk(0, 0, 0, 6))

@@ -1,0 +1,126 @@
+"""Seed-equivalence of the incremental candidate engine.
+
+The ``CandidateEngine``'s contract is *exact* reproduction of the full
+rescan's behaviour: on every standard-suite design the two selectors
+must produce the identical deletion sequence — same net, same edge id,
+same order, same winning criterion — through the complete Fig. 2 flow
+(initial loop, differential-pair mirror deletions, rip-up/reroute
+re-entry in all three improvement phases) and through a standalone
+AREA-mode deletion loop.
+
+These tests route every design twice, so they are the slowest in the
+suite (~1 min total); they are the acceptance gate for
+``RouterConfig.selection_engine`` and must not be skipped casually.
+"""
+
+import pytest
+
+from repro.bench.circuits import make_dataset, standard_suite
+from repro.core import GlobalRouter, RouterConfig
+from repro.core.selection import SelectionMode
+from repro.obs import MemorySink
+
+DESIGNS = [spec.name for spec in standard_suite()]
+_SPECS = {spec.name: spec for spec in standard_suite()}
+
+
+def _deletion_events(sink):
+    return [
+        (
+            e.data["net"],
+            e.data["edge"],
+            e.data["criterion"],
+            e.data["depth"],
+            e.data["phase"],
+        )
+        for e in sink.of_kind("edge_deleted")
+    ]
+
+
+def _route(design, engine):
+    """Full route of one design under one selection engine."""
+    dataset = make_dataset(_SPECS[design])
+    sink = MemorySink()
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(selection_engine=engine),
+        trace_sink=sink,
+    )
+    result = router.route()
+    return _deletion_events(sink), result, router.metrics.flat()
+
+
+def _area_loop(design, engine):
+    """Standalone AREA-mode deletion loop over all lead states."""
+    dataset = make_dataset(_SPECS[design])
+    sink = MemorySink()
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(selection_engine=engine),
+        trace_sink=sink,
+    )
+    router._build_timing()
+    router._assign_pins_and_feedthroughs()
+    router._build_routing_graphs()
+    router._init_density_and_trees()
+    router._deletion_loop(router._lead_states(), SelectionMode.AREA)
+    return _deletion_events(sink)
+
+
+@pytest.fixture(scope="module", params=DESIGNS)
+def routed_pair(request):
+    """One design routed under both engines."""
+    design = request.param
+    return design, _route(design, "rescan"), _route(design, "incremental")
+
+
+class TestFullRouteEquivalence:
+    def test_deletion_sequence_identical(self, routed_pair):
+        design, (seq_rescan, _, _), (seq_inc, _, _) = routed_pair
+        assert seq_inc == seq_rescan, (
+            f"{design}: incremental engine diverged from the rescan "
+            f"baseline at index "
+            f"{next(i for i, (a, b) in enumerate(zip(seq_rescan, seq_inc)) if a != b)}"
+        )
+
+    def test_results_identical(self, routed_pair):
+        design, (_, res_rescan, _), (_, res_inc, _) = routed_pair
+        assert res_inc.deletions == res_rescan.deletions
+        assert res_inc.reroutes == res_rescan.reroutes
+        assert res_inc.total_length_um == res_rescan.total_length_um
+        assert res_inc.critical_delay_ps == res_rescan.critical_delay_ps
+        assert (
+            res_inc.channel_peak_density == res_rescan.channel_peak_density
+        )
+        assert res_inc.constraint_margins == res_rescan.constraint_margins
+
+    def test_incremental_never_evaluates_more_keys(self, routed_pair):
+        design, (_, _, m_rescan), (_, _, m_inc) = routed_pair
+        assert (
+            m_inc["router.key_evals"] <= m_rescan["router.key_evals"]
+        )
+        assert (
+            m_inc["router.key_recomputes"]
+            <= m_rescan["router.key_recomputes"]
+        )
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_area_mode_sequence_identical(design):
+    assert _area_loop(design, "incremental") == _area_loop(
+        design, "rescan"
+    )
+
+
+def test_largest_design_key_eval_reduction():
+    """The headline speedup claim: ≥5× fewer selection-key evaluations
+    per deletion on the largest standard-suite design (C3P1)."""
+    _, res_rescan, m_rescan = _route("C3P1", "rescan")
+    _, res_inc, m_inc = _route("C3P1", "incremental")
+    per_del_rescan = m_rescan["router.key_evals"] / res_rescan.deletions
+    per_del_inc = m_inc["router.key_evals"] / res_inc.deletions
+    assert per_del_rescan >= 5.0 * per_del_inc
