@@ -22,9 +22,11 @@ per deletion on the largest design (C3P1).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro.analysis.run_diff import BENCH_SELECTION_SCHEMA
 from repro.bench.circuits import make_dataset, small_suite, standard_suite
 from repro.core import GlobalRouter, RouterConfig
 from repro.obs import MemorySink
@@ -111,6 +113,25 @@ def report_line(name, rescan, incremental):
     )
 
 
+def snapshot_entry(rescan, incremental):
+    """One design's row of the ``--json`` snapshot (see
+    :data:`repro.analysis.run_diff.BENCH_SELECTION_SCHEMA`)."""
+    return {
+        "deletions": rescan["deletions"],
+        "key_evals_rescan": rescan["key_evals"],
+        "key_evals_incremental": incremental["key_evals"],
+        "key_evals_per_deletion_rescan": round(per_deletion(rescan), 3),
+        "key_evals_per_deletion_incremental": round(
+            per_deletion(incremental), 3
+        ),
+        "speedup": round(
+            per_deletion(rescan) / max(1e-9, per_deletion(incremental)), 3
+        ),
+        "wall_s_rescan": round(rescan["wall_s"], 4),
+        "wall_s_incremental": round(incremental["wall_s"], 4),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -118,10 +139,18 @@ def main(argv=None):
         action="store_true",
         help="small suite only; assert equivalence + no extra key evals",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable snapshot (diff two with "
+        "'repro-router compare-runs')",
+    )
     args = parser.parse_args(argv)
 
     suite = small_suite() if args.smoke else standard_suite()
     failures = []
+    designs = {}
     print(
         "selection-engine bench "
         f"({'smoke/small' if args.smoke else 'standard'} suite)"
@@ -129,6 +158,7 @@ def main(argv=None):
     for spec in suite:
         rescan, incremental, design_failures = compare_design(spec)
         failures.extend(design_failures)
+        designs[spec.name] = snapshot_entry(rescan, incremental)
         print(report_line(spec.name, rescan, incremental))
         if not args.smoke and spec.name == LARGEST:
             speedup = per_deletion(rescan) / max(
@@ -145,6 +175,16 @@ def main(argv=None):
                     f"({incremental['wall_s']:.2f}s vs "
                     f"{rescan['wall_s']:.2f}s rescan)"
                 )
+    if args.json is not None:
+        snapshot = {
+            "schema": BENCH_SELECTION_SCHEMA,
+            "suite": "small" if args.smoke else "standard",
+            "designs": designs,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:

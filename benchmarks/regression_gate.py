@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI regression gate: one deterministic routing run plus its artifacts.
+
+Routes one standard-suite design (C1P1) with full observability — trace
+with every deletion-decision record, run manifest, density-heatmap
+rendering — into an output directory.  CI then diffs the fresh manifest
+against the committed golden copy with ``repro-router compare-runs``;
+any drift in the deterministic headline numbers (critical delay, total
+length, violations, peak density) past the loose thresholds fails the
+job, and the trace + heatmap artifacts are uploaded for inspection.
+
+Modes::
+
+    python benchmarks/regression_gate.py --out gate-out
+    python benchmarks/regression_gate.py --update-golden   # refresh golden
+
+Refresh the golden after any *intentional* change to routing behaviour
+and commit it with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.circuits import standard_suite
+from repro.bench.runner import run_dataset
+from repro.obs import (
+    JsonlTraceSink,
+    PhaseProfiler,
+    build_run_manifest,
+    read_trace,
+)
+from repro.analysis import format_snapshot, format_snapshot_table, \
+    snapshots_from_events
+
+DESIGN = "C1P1"
+GOLDEN = Path(__file__).parent / "golden" / "regression-gate.manifest.json"
+
+
+def run_gate(out_dir: Path) -> Path:
+    """Route the gate design into ``out_dir``; returns the manifest path."""
+    spec = next(s for s in standard_suite() if s.name == DESIGN)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.jsonl"
+    sink = JsonlTraceSink(trace_path)
+    profiler = PhaseProfiler()
+    try:
+        record, result, report, dataset = run_dataset(
+            spec,
+            constrained=True,
+            trace_sink=sink,
+            profiler=profiler,
+            decision_sampling="all",
+        )
+    finally:
+        sink.close()
+
+    manifest = build_run_manifest(
+        config=None,
+        dataset={"name": spec.name, **dataset.stats()},
+        result=result,
+        metrics=record.metrics,
+        profiler=profiler,
+    )
+    manifest_path = out_dir / "manifest.json"
+    manifest.write(manifest_path)
+
+    events = read_trace(trace_path)
+    snapshots = snapshots_from_events(events)
+    heatmap_lines = [format_snapshot_table(snapshots), ""]
+    for snapshot in snapshots:
+        heatmap_lines.append(format_snapshot(snapshot))
+        heatmap_lines.append("")
+    (out_dir / "heatmap.txt").write_text("\n".join(heatmap_lines))
+
+    print(
+        f"{DESIGN}: delay {result.critical_delay_ps:.1f} ps, "
+        f"length {result.total_length_um:.0f} um, "
+        f"{result.deletions} deletions, "
+        f"{len(result.violations)} violations"
+    )
+    print(f"wrote {manifest_path}, {trace_path}, {out_dir / 'heatmap.txt'}")
+    return manifest_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("regression-gate-out"),
+        help="artifact output directory (default: regression-gate-out)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help=f"also refresh the committed golden manifest ({GOLDEN})",
+    )
+    args = parser.parse_args(argv)
+
+    manifest_path = run_gate(args.out)
+    if args.update_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(manifest_path.read_text())
+        print(f"updated golden {GOLDEN}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

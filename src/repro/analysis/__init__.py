@@ -1,7 +1,30 @@
-"""Analysis utilities: Fig. 4 density profiles and the post-channel-routing
-sign-off (final delays, area, lengths — the quantities Table 2 reports)."""
+"""Analysis utilities: Fig. 4 density profiles, the post-channel-routing
+sign-off (final delays, area, lengths — the quantities Table 2 reports),
+timing-margin attribution, trace heatmaps, and run-to-run diffing."""
 
+from .attribution import (
+    ConstraintAttribution,
+    NetContribution,
+    attribute_constraint,
+    attribute_margins,
+    attributions_from_events,
+    format_attribution,
+)
 from .density_profile import DensityProfile, profile_from_engine
+from .heatmap import (
+    HeatmapSnapshot,
+    format_snapshot,
+    format_snapshot_table,
+    snapshots_from_events,
+)
+from .run_diff import (
+    BENCH_SELECTION_SCHEMA,
+    DiffThresholds,
+    RunDiff,
+    classify_input,
+    deletion_divergence,
+    diff_runs,
+)
 from .rc_signoff import (
     ElmoreWireDelays,
     RcSignoffReport,
@@ -22,8 +45,24 @@ from .timing_report import (
 from .wirestats import NetLengthStat, WireStats, wire_stats
 
 __all__ = [
+    "BENCH_SELECTION_SCHEMA",
     "ComparisonReport",
+    "ConstraintAttribution",
     "DensityProfile",
+    "DiffThresholds",
+    "HeatmapSnapshot",
+    "NetContribution",
+    "RunDiff",
+    "attribute_constraint",
+    "attribute_margins",
+    "attributions_from_events",
+    "classify_input",
+    "deletion_divergence",
+    "diff_runs",
+    "format_attribution",
+    "format_snapshot",
+    "format_snapshot_table",
+    "snapshots_from_events",
     "FullReport",
     "full_report",
     "NetDelta",

@@ -1,0 +1,196 @@
+"""Timing-margin attribution: who is eating the slack of constraint P?
+
+``ConstraintTiming`` records one critical path per constraint as arc
+positions.  Each arc's delay splits into a constant part (gate/pad
+delay) and a wire part (``CL(net) × td``), so grouping the path's arcs
+by driving net yields a per-net breakdown of the critical-path delay —
+and therefore of the margin ``M(P) = δ_P − worst``.  The leftover
+``source_offset_ps`` (the path's start offset, e.g. a source pad's
+arrival) is reported separately so the parts always sum to
+``worst_delay_ps``.
+
+The router emits one ``margin_attribution`` trace event per constraint
+at run end; ``repro trace explain`` renders them, and the same payload
+lands in ``repro route --json`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..timing.sta import ConstraintTiming, WireCaps
+
+
+@dataclass(frozen=True)
+class NetContribution:
+    """One net's share of a constraint's critical-path delay."""
+
+    net: str
+    arcs: int                      # critical-path arcs driven by the net
+    const_ps: float                # gate/pad delay through those arcs
+    wire_ps: float                 # CL(net) × Σ td of those arcs
+    cap_pf: float                  # the net's current wire capacitance
+    length_um: Optional[float]     # tree length, when the caller knows it
+
+    @property
+    def delay_ps(self) -> float:
+        return self.const_ps + self.wire_ps
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "net": self.net,
+            "arcs": self.arcs,
+            "const_ps": round(self.const_ps, 4),
+            "wire_ps": round(self.wire_ps, 4),
+            "delay_ps": round(self.delay_ps, 4),
+            "cap_pf": round(self.cap_pf, 6),
+        }
+        if self.length_um is not None:
+            payload["length_um"] = round(self.length_um, 3)
+        return payload
+
+
+@dataclass(frozen=True)
+class ConstraintAttribution:
+    """Per-net critical-path breakdown of one constraint's margin."""
+
+    constraint: str
+    limit_ps: float
+    worst_delay_ps: float
+    margin_ps: float
+    source_offset_ps: float
+    nets: List[NetContribution]    # critical-path order
+
+    def share_pct(self, contribution: NetContribution) -> float:
+        """The contribution's share of the critical-path delay."""
+        if self.worst_delay_ps <= 0.0:
+            return 0.0
+        return 100.0 * contribution.delay_ps / self.worst_delay_ps
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "constraint": self.constraint,
+            "limit_ps": round(self.limit_ps, 4),
+            "worst_delay_ps": round(self.worst_delay_ps, 4),
+            "margin_ps": round(self.margin_ps, 4),
+            "source_offset_ps": round(self.source_offset_ps, 4),
+            "nets": [
+                dict(c.to_dict(), share_pct=round(self.share_pct(c), 2))
+                for c in self.nets
+            ],
+        }
+
+
+def attribute_constraint(
+    timing: ConstraintTiming,
+    caps: WireCaps,
+    net_lengths: Optional[Mapping[str, float]] = None,
+) -> ConstraintAttribution:
+    """Break one constraint's critical-path delay down by driving net."""
+    cg = timing.graph
+    order: List[str] = []
+    grouped: Dict[str, Dict[str, float]] = {}
+    for pos in timing.critical_arc_positions:
+        arc = cg.arcs[pos]
+        name = arc.net.name
+        bucket = grouped.get(name)
+        if bucket is None:
+            bucket = grouped[name] = {"arcs": 0, "const": 0.0, "wire": 0.0}
+            order.append(name)
+        bucket["arcs"] += 1
+        bucket["const"] += arc.const_ps
+        bucket["wire"] += caps.get(arc.net) * arc.td_ps_per_pf
+    nets = [
+        NetContribution(
+            net=name,
+            arcs=int(grouped[name]["arcs"]),
+            const_ps=grouped[name]["const"],
+            wire_ps=grouped[name]["wire"],
+            cap_pf=caps.get_name(name),
+            length_um=(
+                net_lengths.get(name) if net_lengths is not None else None
+            ),
+        )
+        for name in order
+    ]
+    path_ps = sum(c.delay_ps for c in nets)
+    return ConstraintAttribution(
+        constraint=cg.name,
+        limit_ps=cg.limit_ps,
+        worst_delay_ps=timing.worst_delay_ps,
+        margin_ps=timing.margin_ps,
+        source_offset_ps=timing.worst_delay_ps - path_ps,
+        nets=nets,
+    )
+
+
+def attribute_margins(
+    timings: Mapping[str, ConstraintTiming],
+    caps: WireCaps,
+    net_lengths: Optional[Mapping[str, float]] = None,
+) -> Dict[str, ConstraintAttribution]:
+    """Attribution for every analyzed constraint, keyed by name."""
+    return {
+        name: attribute_constraint(timing, caps, net_lengths)
+        for name, timing in sorted(timings.items())
+    }
+
+
+def attributions_from_events(events: Iterable) -> List[Dict[str, Any]]:
+    """The ``margin_attribution`` payloads of a trace, in emission order.
+
+    Accepts :class:`~repro.obs.events.TraceEvent` objects; later
+    emissions for the same constraint (there is normally only one, at
+    run end) supersede earlier ones.
+    """
+    by_constraint: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        if event.kind != "margin_attribution":
+            continue
+        payload = dict(event.data)
+        name = str(payload.get("constraint", "?"))
+        by_constraint[name] = payload
+    return [by_constraint[name] for name in sorted(by_constraint)]
+
+
+def format_attribution(payload: Dict[str, Any]) -> str:
+    """Terminal rendition of one ``margin_attribution`` payload."""
+    lines = [
+        "constraint {name}: limit {limit:.1f} ps, critical path "
+        "{worst:.1f} ps, margin {margin:+.1f} ps".format(
+            name=payload.get("constraint", "?"),
+            limit=float(payload.get("limit_ps", 0.0)),
+            worst=float(payload.get("worst_delay_ps", 0.0)),
+            margin=float(payload.get("margin_ps", 0.0)),
+        )
+    ]
+    offset = float(payload.get("source_offset_ps", 0.0))
+    if abs(offset) > 1e-6:
+        lines.append(f"  source offset: {offset:.1f} ps")
+    nets = payload.get("nets", [])
+    if not nets:
+        lines.append("  (no critical-path arcs recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'net':<14s} {'arcs':>4s} {'const_ps':>10s} {'wire_ps':>10s}"
+        f" {'delay_ps':>10s} {'share':>7s} {'cap_pf':>9s} {'len_um':>9s}"
+    )
+    for row in nets:
+        length = row.get("length_um")
+        lines.append(
+            "  {net:<14s} {arcs:>4d} {const:>10.2f} {wire:>10.2f}"
+            " {delay:>10.2f} {share:>6.1f}% {cap:>9.4f} {length:>9s}".format(
+                net=str(row.get("net", "?")),
+                arcs=int(row.get("arcs", 0)),
+                const=float(row.get("const_ps", 0.0)),
+                wire=float(row.get("wire_ps", 0.0)),
+                delay=float(row.get("delay_ps", 0.0)),
+                share=float(row.get("share_pct", 0.0)),
+                cap=float(row.get("cap_pf", 0.0)),
+                length=(
+                    f"{float(length):.0f}" if length is not None else "-"
+                ),
+            )
+        )
+    return "\n".join(lines)

@@ -80,6 +80,7 @@ def run_dataset(
     *,
     trace_sink: Optional[TraceSink] = None,
     profiler: Optional[PhaseProfiler] = None,
+    decision_sampling: Optional[str] = None,
 ) -> Tuple[RunRecord, GlobalRoutingResult, SignoffReport, Dataset]:
     """Route one dataset in one mode and return all artifacts.
 
@@ -87,7 +88,9 @@ def run_dataset(
     placement via feed-cell insertion, so runs must not share one).  Each
     run gets its own metrics registry; its flattened snapshot rides along
     on ``RunRecord.metrics``.  Pass ``trace_sink`` to capture the run's
-    structured event stream and ``profiler`` to share a phase profiler.
+    structured event stream, ``profiler`` to share a phase profiler, and
+    ``decision_sampling`` (``all``/``off``/``nth:N``) to control
+    deletion-decision records in the trace.
     """
     dataset = make_dataset(spec, technology)
     if config is None:
@@ -108,6 +111,7 @@ def run_dataset(
     router = GlobalRouter(
         dataset.circuit, dataset.placement, constraints, config,
         trace_sink=tracer, metrics=metrics, profiler=profiler,
+        decision_sampling=decision_sampling,
     )
     global_result = router.route()
     channel_result = route_channels(

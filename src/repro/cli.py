@@ -133,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(inspect with 'repro-router trace summarize PATH')",
     )
     route.add_argument(
+        "--decisions", default=None, metavar="POLICY",
+        help="deletion-decision record sampling in the trace: 'all', "
+        "'off', or 'nth:N' (default nth:25; only meaningful with "
+        "--trace)",
+    )
+    route.add_argument(
         "--metrics", action="store_true",
         help="print the run's metrics registry and per-phase profile",
     )
@@ -170,6 +176,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase time and winning-criterion breakdown",
     )
     summarize.add_argument("path", type=Path)
+    explain = trace_sub.add_parser(
+        "explain",
+        help="decision records and per-constraint margin attribution",
+    )
+    explain.add_argument("path", type=Path)
+    explain.add_argument(
+        "--constraint", default=None, metavar="P",
+        help="show only this constraint's margin attribution",
+    )
+    explain.add_argument(
+        "--deletion", type=int, default=None, metavar="N",
+        help="show the decision record of deletion #N (0-based)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit JSON instead of text",
+    )
+    heatmap = trace_sub.add_parser(
+        "heatmap",
+        help="channel-density snapshots at phase boundaries",
+    )
+    heatmap.add_argument("path", type=Path)
+    heatmap.add_argument(
+        "--label", default=None, metavar="LABEL",
+        help="show one snapshot (initial, post_deletion, post_recovery, "
+        "post_improvement; default: summary plus the final snapshot)",
+    )
+    heatmap.add_argument(
+        "--channel", type=int, default=None, metavar="C",
+        help="restrict the rendering to one channel",
+    )
+    heatmap.add_argument(
+        "--json", action="store_true",
+        help="emit JSON instead of text",
+    )
+
+    compare_runs = sub.add_parser(
+        "compare-runs",
+        help="diff two run manifests or bench snapshots against "
+        "regression thresholds",
+    )
+    compare_runs.add_argument("old", type=Path)
+    compare_runs.add_argument("new", type=Path)
+    compare_runs.add_argument(
+        "--trace", nargs=2, type=Path, default=None,
+        metavar=("OLD", "NEW"),
+        help="also diff two JSONL traces (deletion-sequence divergence, "
+        "per-channel C_M/C_m deltas)",
+    )
+    compare_runs.add_argument(
+        "--max-delay-pct", type=float, default=5.0,
+        help="fail if critical delay grows more than this percent",
+    )
+    compare_runs.add_argument(
+        "--max-length-pct", type=float, default=5.0,
+        help="fail if total wire length grows more than this percent",
+    )
+    compare_runs.add_argument(
+        "--max-peak-delta", type=float, default=8.0,
+        help="fail if peak density (or a channel's C_M/C_m) grows by "
+        "more than this many tracks",
+    )
+    compare_runs.add_argument(
+        "--max-violations-delta", type=int, default=0,
+        help="fail if more constraints are violated than before",
+    )
+    compare_runs.add_argument(
+        "--max-wall-pct", type=float, default=None,
+        help="fail if a phase's wall time grows more than this percent "
+        "(default: report-only; wall clocks are noisy in CI)",
+    )
+    compare_runs.add_argument(
+        "--max-evals-pct", type=float, default=25.0,
+        help="bench snapshots: fail if key-evals per deletion grow "
+        "more than this percent",
+    )
+    compare_runs.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the diff as JSON",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -237,6 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "compare-runs":
+            return _cmd_compare_runs(args)
         if args.command == "batch":
             return _cmd_batch(args)
     except ReproError as exc:
@@ -326,6 +414,7 @@ def _cmd_route(args) -> int:
         config = config.unconstrained()
 
     from .obs import (
+        DecisionPolicy,
         JsonlTraceSink,
         MetricsRegistry,
         PhaseProfiler,
@@ -335,12 +424,17 @@ def _cmd_route(args) -> int:
 
     metrics = MetricsRegistry()
     profiler = PhaseProfiler()
+    try:
+        DecisionPolicy.parse(args.decisions)
+    except ValueError as exc:
+        return _input_error(str(exc))
     sink = JsonlTraceSink(args.trace) if args.trace is not None else None
     tracer = Tracer.of(sink)
     try:
         router = GlobalRouter(
             circuit, placement, constraints, config,
             trace_sink=tracer, metrics=metrics, profiler=profiler,
+            decision_sampling=args.decisions,
         )
         global_result = router.route()
         channel_result = route_channels(
@@ -395,6 +489,11 @@ def _cmd_route(args) -> int:
         payload = {
             "global": global_result_to_dict(global_result),
             "signoff": signoff_to_dict(report),
+            "margin_attribution": {
+                name: attribution.to_dict()
+                for name, attribution in
+                router.margin_attribution().items()
+            },
         }
         write_json_report(payload, args.json)
         print(f"  wrote {args.json}")
@@ -447,19 +546,230 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
-    from .obs import read_trace, summarize_trace
+def _read_trace_or_none(path: Path):
+    """Load a trace, or None after printing an exit-2 style message."""
+    from .obs import read_trace
 
+    try:
+        events = read_trace(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+        return None
+    if not events:
+        print(f"error: trace {path} contains no events", file=sys.stderr)
+        return None
+    return events
+
+
+def _cmd_trace(args) -> int:
     if args.trace_command == "summarize":
-        try:
-            events = read_trace(args.path)
-        except (OSError, ValueError, KeyError) as exc:
-            return _input_error(f"cannot read trace {args.path}: {exc}")
-        if not events:
-            return _input_error(f"trace {args.path} contains no events")
-        print(summarize_trace(events))
-        return 0
+        return _cmd_trace_summarize(args)
+    if args.trace_command == "explain":
+        return _cmd_trace_explain(args)
+    if args.trace_command == "heatmap":
+        return _cmd_trace_heatmap(args)
     raise AssertionError("unreachable")
+
+
+def _cmd_trace_summarize(args) -> int:
+    from .obs import partition_events, summarize_trace
+
+    events = _read_trace_or_none(args.path)
+    if events is None:
+        return 2
+    known, unknown = partition_events(events)
+    for kind in sorted(unknown):
+        print(
+            f"warning: skipping {unknown[kind]} event(s) of unknown "
+            f"kind {kind!r} (newer trace schema?)",
+            file=sys.stderr,
+        )
+    if not known:
+        return _input_error(
+            f"trace {args.path}: no recognized events "
+            f"(unknown kinds: {', '.join(sorted(unknown))})"
+        )
+    print(summarize_trace(known))
+    return 0
+
+
+def _cmd_trace_explain(args) -> int:
+    import json as json_module
+
+    from .analysis import attributions_from_events, format_attribution
+
+    events = _read_trace_or_none(args.path)
+    if events is None:
+        return 2
+    decisions = [e for e in events if e.kind == "deletion_decision"]
+    attributions = attributions_from_events(events)
+    if args.constraint is not None:
+        attributions = [
+            a for a in attributions
+            if a.get("constraint") == args.constraint
+        ]
+        if not attributions:
+            return _input_error(
+                f"trace {args.path}: no margin attribution for "
+                f"constraint {args.constraint!r}"
+            )
+    selected_decisions = decisions
+    if args.deletion is not None:
+        selected_decisions = [
+            e for e in decisions
+            if e.data.get("deletion_index") == args.deletion
+        ]
+        if not selected_decisions:
+            return _input_error(
+                f"trace {args.path}: no decision record for deletion "
+                f"#{args.deletion} (sampled out? re-run with "
+                "--decisions all)"
+            )
+    if args.json:
+        print(json_module.dumps(
+            {
+                "decisions": [e.data for e in selected_decisions],
+                "margin_attribution": attributions,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if args.deletion is not None:
+        for event in selected_decisions:
+            print(_format_decision(event.data))
+        if args.constraint is None:
+            return 0
+    else:
+        print(
+            f"{len(decisions)} decision records in trace "
+            "(--deletion N shows one)"
+        )
+    if attributions:
+        for payload in attributions:
+            print()
+            print(format_attribution(payload))
+    elif args.deletion is None:
+        print("no margin attribution in trace (unconstrained run?)")
+    return 0
+
+
+def _format_decision(data) -> str:
+    lines = [
+        "deletion #{index}: net {net} edge {edge} (channel {channel}, "
+        "phase {phase}, mode {mode})".format(
+            index=data.get("deletion_index", "?"),
+            net=data.get("net", "?"),
+            edge=data.get("edge", "?"),
+            channel=data.get("channel", "?"),
+            phase=data.get("phase", "?"),
+            mode=data.get("mode", "?"),
+        ),
+        f"  won on: {data.get('criterion', '?')} "
+        f"(depth {data.get('criterion_depth', '?')})",
+    ]
+    winner = data.get("winner_key") or {}
+    runner = data.get("runner_up")
+    names = [n for n in winner if n not in ("net", "edge")]
+    if runner is None:
+        lines.append("  sole candidate (no runner-up)")
+        lines.append("  " + "  ".join(f"{n}={winner[n]}" for n in names))
+    else:
+        lines.append(
+            f"  {'condition':<10s} {'winner':>14s} {'runner-up':>14s}"
+        )
+        for name in names:
+            marker = (
+                " <- decided" if name == data.get("criterion") else ""
+            )
+            lines.append(
+                f"  {name:<10s} {winner.get(name)!s:>14s} "
+                f"{runner.get(name)!s:>14s}{marker}"
+            )
+        lines.append(
+            f"  runner-up was net {runner.get('net')} "
+            f"edge {runner.get('edge')}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trace_heatmap(args) -> int:
+    import json as json_module
+
+    from .analysis import (
+        format_snapshot,
+        format_snapshot_table,
+        snapshots_from_events,
+    )
+
+    events = _read_trace_or_none(args.path)
+    if events is None:
+        return 2
+    snapshots = snapshots_from_events(events)
+    if not snapshots:
+        return _input_error(
+            f"trace {args.path} contains no density snapshots"
+        )
+    if args.label is not None:
+        snapshots = [s for s in snapshots if s.label == args.label]
+        if not snapshots:
+            return _input_error(
+                f"trace {args.path}: no snapshot labelled {args.label!r}"
+            )
+    if args.json:
+        print(json_module.dumps(
+            [s.to_dict() for s in snapshots], indent=2, sort_keys=True
+        ))
+        return 0
+    if args.label is None:
+        print(format_snapshot_table(snapshots))
+        print()
+        snapshots = snapshots[-1:]
+    for snapshot in snapshots:
+        print(format_snapshot(snapshot, channel=args.channel))
+    return 0
+
+
+def _cmd_compare_runs(args) -> int:
+    import json as json_module
+
+    from .analysis.run_diff import DiffThresholds, diff_runs
+
+    documents = []
+    for path in (args.old, args.new):
+        try:
+            documents.append(json_module.loads(Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            return _input_error(f"cannot read {path}: {exc}")
+    thresholds = DiffThresholds(
+        max_delay_pct=args.max_delay_pct,
+        max_length_pct=args.max_length_pct,
+        max_peak_delta=args.max_peak_delta,
+        max_violations_delta=args.max_violations_delta,
+        max_wall_pct=args.max_wall_pct,
+        max_evals_pct=args.max_evals_pct,
+    )
+    old_events = new_events = None
+    if args.trace is not None:
+        old_events = _read_trace_or_none(args.trace[0])
+        if old_events is None:
+            return 2
+        new_events = _read_trace_or_none(args.trace[1])
+        if new_events is None:
+            return 2
+    try:
+        diff = diff_runs(
+            documents[0], documents[1], thresholds,
+            old_events=old_events, new_events=new_events,
+        )
+    except ValueError as exc:
+        return _input_error(str(exc))
+    print(diff.format())
+    if args.json is not None:
+        Path(args.json).write_text(
+            json_module.dumps(diff.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    return 0 if diff.ok else 1
 
 
 def _cmd_compare(args) -> int:

@@ -37,7 +37,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from .selection import SelectionMode, winning_criterion
+from .selection import SelectionMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .router import GlobalRouter, _NetState
@@ -136,9 +136,7 @@ class CandidateEngine:
             if runner is not None:
                 heapq.heappush(self._heap, runner[0])
                 runner_key = runner[0][0]
-            router._last_selection = winning_criterion(
-                entry[0], runner_key, self._mode
-            )
+            router._record_selection(entry[0], runner_key, self._mode)
         return state, edge_id
 
     def refresh(self) -> None:

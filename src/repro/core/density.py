@@ -229,6 +229,28 @@ class DensityEngine:
         self._check_channel(channel)
         return self.d_max[channel].copy(), self.d_min[channel].copy()
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every channel's profiles and stats.
+
+        The payload of the ``density_snapshot`` trace events the router
+        emits at phase boundaries (rendered by ``repro trace heatmap``).
+        """
+        channels = []
+        for channel in range(self.n_channels):
+            stats = self.channel_stats(channel)
+            channels.append(
+                {
+                    "channel": channel,
+                    "c_max": stats.c_max,
+                    "nc_max": stats.nc_max,
+                    "c_min": stats.c_min,
+                    "nc_min": stats.nc_min,
+                    "d_max": [int(v) for v in self.d_max[channel]],
+                    "d_min": [int(v) for v in self.d_min[channel]],
+                }
+            )
+        return {"width_columns": self.width_columns, "channels": channels}
+
     def _check_channel(self, channel: int) -> None:
         if not (0 <= channel < self.n_channels):
             raise RoutingError(f"channel {channel} out of range")

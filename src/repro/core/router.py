@@ -49,7 +49,12 @@ from ..layout.floorplan import Floorplan, assign_external_pins
 from ..layout.placement import Placement
 from ..netlist.circuit import Circuit, ExternalPin, Net, Terminal
 from ..netlist.validate import validate_circuit
-from ..obs.events import TraceSink, Tracer
+from ..obs.decisions import (
+    DecisionPolicy,
+    SelectionOutcome,
+    decision_payload,
+)
+from ..obs.events import TRACE_SCHEMA_VERSION, TraceSink, Tracer
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PhaseProfiler
 from ..routegraph.build import build_routing_graph
@@ -127,6 +132,7 @@ class GlobalRouter:
         trace_sink: Optional[TraceSink] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[PhaseProfiler] = None,
+        decision_sampling: Optional[str] = None,
     ):
         self.circuit = circuit
         self.placement = placement
@@ -169,7 +175,14 @@ class GlobalRouter:
         self._m_reverted = self.metrics.counter("router.reroutes_reverted")
         self._m_timing = self.metrics.counter("router.timing_analyses")
         self._phase_stack: List[str] = []
-        self._last_selection: Tuple[str, int] = ("unknown", -1)
+        # Decision explainability: both candidate engines record the
+        # outcome of each select() here (when tracing), and the deletion
+        # that follows turns it into a sampled deletion_decision event.
+        # Kept out of RouterConfig on purpose — sampling must not change
+        # batch-cache keys or routing behaviour.
+        self.decisions = DecisionPolicy.parse(decision_sampling)
+        self._m_decisions = self.metrics.counter("router.decision_records")
+        self._last_decision: Optional[SelectionOutcome] = None
         self._violated_names: frozenset = frozenset()
 
     # ==================================================================
@@ -189,6 +202,8 @@ class GlobalRouter:
                 cells=len(self.circuit.logic_cells),
                 constraints=len(self.constraints),
                 timing_driven=self.config.timing_driven,
+                trace_schema=TRACE_SCHEMA_VERSION,
+                decision_sampling=self.decisions.spec(),
             )
 
         with self.profiler.phase("route"):
@@ -203,6 +218,7 @@ class GlobalRouter:
                     self._build_routing_graphs()
                 with self._phase_scope("density"):
                     self._init_density_and_trees()
+            self._snapshot_density("initial")
 
             self._log("initial", "edge-deletion loop starts")
             with self._phase_scope("initial"):
@@ -210,6 +226,7 @@ class GlobalRouter:
                     list(self._lead_states()), SelectionMode.TIMING
                 )
             self._log("initial", "loop done", float(self.deletions))
+            self._snapshot_density("post_deletion")
 
             from .improve import (  # local import avoids a module cycle
                 improve_area,
@@ -221,6 +238,7 @@ class GlobalRouter:
             if timing and self.config.run_violation_recovery:
                 with self._phase_scope("recover_violate"):
                     recover_violations(self)
+                self._snapshot_density("post_recovery")
             if timing and self.config.run_delay_improvement:
                 with self._phase_scope("improve_delay"):
                     improve_delay(self)
@@ -230,6 +248,7 @@ class GlobalRouter:
 
             with self._phase_scope("finalize"):
                 self._finalize_trees()
+            self._snapshot_density("post_improvement")
         elapsed = self.profiler.wall_s("route")
         result = self._build_result(elapsed)
         if tracer.enabled:
@@ -423,6 +442,14 @@ class GlobalRouter:
             if state.graph.essential[edge.index]:
                 self.engine.remove_bridge(edge, weight)
 
+    def _snapshot_density(self, label: str) -> None:
+        """Emit the full ``d_M``/``d_m`` profiles at a phase boundary."""
+        if not self.tracer.enabled or self.engine is None:
+            return
+        self.tracer.emit(
+            "density_snapshot", label=label, **self.engine.snapshot()
+        )
+
     # ==================================================================
     # Tentative trees and wire caps
     # ==================================================================
@@ -560,10 +587,21 @@ class GlobalRouter:
                 elif track and (runner_key is None or key < runner_key):
                     runner_key = key
         if track and best is not None:
-            self._last_selection = winning_criterion(
-                best_key, runner_key, mode
-            )
+            self._record_selection(best_key, runner_key, mode)
         return best
+
+    def _record_selection(
+        self,
+        best_key: tuple,
+        runner_key: Optional[tuple],
+        mode: SelectionMode,
+    ) -> None:
+        """Remember one select() outcome for the deletion that follows
+        (called by both candidate engines, only while tracing)."""
+        criterion, depth = winning_criterion(best_key, runner_key, mode)
+        self._last_decision = SelectionOutcome(
+            best_key, runner_key, criterion, depth, mode
+        )
 
     # ==================================================================
     # Deletion
@@ -598,7 +636,10 @@ class GlobalRouter:
         """Delete one edge plus its differential mirror; update caches."""
         if self.tracer.enabled:
             edge = state.graph.edges[edge_id]
-            criterion, depth = self._last_selection
+            decision = self._last_decision
+            criterion, depth = ("unknown", -1)
+            if decision is not None:
+                criterion, depth = decision.criterion, decision.depth
             self.tracer.emit(
                 "edge_deleted",
                 net=state.net.name,
@@ -610,6 +651,20 @@ class GlobalRouter:
                 depth=depth,
                 phase=self._current_phase,
             )
+            if decision is not None and self.decisions.wants(
+                self.deletions
+            ):
+                self._m_decisions.inc()
+                self.tracer.emit(
+                    "deletion_decision",
+                    net=state.net.name,
+                    edge=edge_id,
+                    channel=edge.channel,
+                    phase=self._current_phase,
+                    deletion_index=self.deletions,
+                    **decision_payload(decision),
+                )
+            self._last_decision = None
         self._apply_deletion(state, edge_id)
         if state.pair is not None:
             self._mirror_deletion(state, edge_id)
@@ -854,6 +909,23 @@ class GlobalRouter:
                     f"net {state.net.name} did not converge to a tree"
                 )
 
+    def margin_attribution(self):
+        """Per-constraint critical-path breakdown under current caps.
+
+        Returns ``{constraint: ConstraintAttribution}`` (empty without
+        constraints); see :mod:`repro.analysis.attribution`.
+        """
+        from ..analysis.attribution import attribute_margins
+
+        if not self.constraint_graphs:
+            return {}
+        timings = self._ensure_timings()
+        lengths = {
+            name: state.graph.total_alive_length_um()
+            for name, state in self.states.items()
+        }
+        return attribute_margins(timings, self.caps, net_lengths=lengths)
+
     def _build_result(self, elapsed: float) -> GlobalRoutingResult:
         routes: Dict[str, NetRoute] = {}
         total_length = 0.0
@@ -868,6 +940,11 @@ class GlobalRouter:
             self._timing_dirty = True
             for cname, timing in self._ensure_timings().items():
                 margins[cname] = timing.margin_ps
+            if self.tracer.enabled:
+                for attribution in self.margin_attribution().values():
+                    self.tracer.emit(
+                        "margin_attribution", **attribution.to_dict()
+                    )
 
         peak_density = {
             channel: self.engine.channel_stats(channel).c_max

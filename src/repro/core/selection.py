@@ -28,7 +28,7 @@ The area-improvement phase (Section 3.5) reorders the comparison: after
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..routegraph.graph import RouteEdge
 from .criteria import DelayCriteria
@@ -86,6 +86,28 @@ def winning_criterion(
                 return names[depth], depth
             return "tie_break", depth
     return "tie_break", min(len(best), len(runner_up))
+
+
+def key_fields(key: SelectionKey, mode: SelectionMode) -> Dict[str, Any]:
+    """Decode a selection key into named fields (for decision records).
+
+    Returns the named lexicographic conditions in comparison order; the
+    ``length`` component is negated in the key (longer edge wins) and is
+    reported here as the positive ``length_um``.  The deterministic
+    identity tail, when present, is exposed as ``net`` / ``edge``.
+    """
+    names = CRITERION_NAMES[mode]
+    fields: Dict[str, Any] = {}
+    for index, name in enumerate(names):
+        value = key[index]
+        if name == "length":
+            value = -value
+        fields[name] = value
+    tail = key[len(names):]
+    if len(tail) >= 2:
+        fields["net"] = tail[0]
+        fields["edge"] = tail[1]
+    return fields
 
 
 def density_subkey(

@@ -39,6 +39,7 @@ from ..bench.runner import RunRecord
 from ..errors import ConfigError
 from ..io.fsutil import atomic_write_text
 from ..obs.manifest import build_run_manifest
+from ..obs.metrics import scoped_registry
 from .cache import ResultCache
 from .jobs import JobSpec, execute_job
 from .progress import ProgressEvent, SweepReporter
@@ -133,9 +134,15 @@ def sweep_id_of(jobs: Sequence[JobSpec]) -> str:
 # Worker side
 # ----------------------------------------------------------------------
 def _worker_main(conn, runner: Runner, spec: JobSpec) -> None:
-    """Subprocess entry point: run one job, ship the result back."""
+    """Subprocess entry point: run one job, ship the result back.
+
+    The job runs under a fresh scoped registry: a forked worker inherits
+    whatever the parent accumulated in the process-global
+    ``get_registry()``, which must not bleed into this job's counts.
+    """
     try:
-        record = runner(spec)
+        with scoped_registry():
+            record = runner(spec)
         message = ("ok", record)
     except BaseException as exc:  # noqa: BLE001 — isolate *everything*
         message = ("error", f"{type(exc).__name__}: {exc}")
@@ -311,13 +318,19 @@ class _Sweep:
 # Execution strategies
 # ----------------------------------------------------------------------
 def _run_inline(sweep: _Sweep, pending: List[_Task]) -> None:
-    """workers=0: run every task in-process (no isolation/timeout)."""
+    """workers=0: run every task in-process (no isolation/timeout).
+
+    Every job still gets a fresh scoped registry — all inline jobs share
+    this process, so a runner using ``get_registry()`` would otherwise
+    accumulate counts across jobs.
+    """
     for task in pending:
         while True:
             sweep.emit("started", task, attempt=task.attempt + 1)
             started = time.monotonic()
             try:
-                record = sweep.runner(task.spec)
+                with scoped_registry():
+                    record = sweep.runner(task.spec)
             except Exception as exc:  # noqa: BLE001
                 duration = time.monotonic() - started
                 error = f"{type(exc).__name__}: {exc}"

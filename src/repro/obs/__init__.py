@@ -20,6 +20,7 @@ from .events import (
     MemorySink,
     NULL_SINK,
     NullSink,
+    TRACE_SCHEMA_VERSION,
     TraceEvent,
     TraceSink,
     Tracer,
@@ -39,12 +40,23 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    scoped_registry,
 )
 from .profile import PhaseNode, PhaseProfiler
-from .summarize import summarize_trace
+from .summarize import partition_events, summarize_trace
+# Imported last: decisions lazily reaches into repro.core, which itself
+# imports the modules above.
+from .decisions import (
+    DECISION_SAMPLING_DEFAULT,
+    DecisionPolicy,
+    SelectionOutcome,
+    decision_payload,
+)
 
 __all__ = [
     "Counter",
+    "DECISION_SAMPLING_DEFAULT",
+    "DecisionPolicy",
     "EVENT_KINDS",
     "Gauge",
     "Histogram",
@@ -57,14 +69,19 @@ __all__ = [
     "PhaseNode",
     "PhaseProfiler",
     "RunManifest",
+    "SelectionOutcome",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "TraceSink",
     "Tracer",
     "build_run_manifest",
+    "decision_payload",
     "describe_source",
     "events_to_jsonl",
     "get_registry",
+    "partition_events",
     "read_manifest",
     "read_trace",
+    "scoped_registry",
     "summarize_trace",
 ]

@@ -40,6 +40,24 @@ schema):
     ``net``, ``partner``.
 ``channel_routed``
     ``channel``, ``tracks``, ``constraint_breaks``, ``dogleg_splits``.
+``deletion_decision``
+    Sampled Section 3.4 audit record: ``net``, ``edge``, ``channel``,
+    ``phase``, ``deletion_index``, ``mode``, ``criterion``,
+    ``criterion_depth``, ``winner_key`` (named lexicographic
+    conditions), ``runner_up`` (same shape, or ``null`` for a sole
+    candidate).
+``density_snapshot``
+    Per-channel ``d_M``/``d_m`` profiles at a phase boundary:
+    ``label`` (``initial`` / ``post_deletion`` / ``post_recovery`` /
+    ``post_improvement``), ``width_columns``, ``channels``.
+``margin_attribution``
+    Per-constraint slack breakdown at run end: ``constraint``,
+    ``limit_ps``, ``worst_delay_ps``, ``margin_ps``,
+    ``source_offset_ps``, ``nets`` (critical-path contributions).
+
+Consumers must tolerate kinds they do not know (a newer producer):
+skip them, never raise.  :data:`TRACE_SCHEMA_VERSION` is carried in the
+``run_start`` payload as ``trace_schema``.
 """
 
 from __future__ import annotations
@@ -57,6 +75,9 @@ EVENT_KINDS = (
     "phase_start",
     "phase_end",
     "edge_deleted",
+    "deletion_decision",
+    "density_snapshot",
+    "margin_attribution",
     "reroute",
     "violation_found",
     "violation_cleared",
@@ -64,6 +85,11 @@ EVENT_KINDS = (
     "pair_broken",
     "channel_routed",
 )
+
+TRACE_SCHEMA_VERSION = 2
+"""Bumped whenever the event vocabulary grows.  Readers warn-and-skip
+unknown kinds rather than fail, so older tools keep working on newer
+traces."""
 
 _RESERVED_KEYS = ("seq", "t", "kind")
 
@@ -95,9 +121,14 @@ class TraceEvent:
             for key, value in payload.items()
             if key not in _RESERVED_KEYS
         }
+        if "kind" not in payload:
+            raise ValueError(f"trace event without a kind: {payload!r}")
+        # seq/t default rather than raise: a newer producer may move
+        # them, and losing ordering info must not make the file
+        # unreadable (the kind-specific payload is what matters).
         return TraceEvent(
-            seq=int(payload["seq"]),
-            t_s=float(payload["t"]),
+            seq=int(payload.get("seq", 0)),
+            t_s=float(payload.get("t", 0.0)),
             kind=str(payload["kind"]),
             data=data,
         )

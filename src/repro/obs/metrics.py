@@ -205,3 +205,25 @@ def get_registry() -> MetricsRegistry:
     if _GLOBAL_REGISTRY is None:
         _GLOBAL_REGISTRY = MetricsRegistry()
     return _GLOBAL_REGISTRY
+
+
+@contextmanager
+def scoped_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Swap the process-global registry for the duration of a block.
+
+    The batch engine wraps every job execution in one of these so a
+    runner that reaches for :func:`get_registry` gets a fresh, job-local
+    registry instead of accumulating counts across jobs — both in inline
+    mode (``workers=0``, where every job shares one process) and in
+    forked workers (which inherit the parent's global registry state).
+    The previous registry is restored on exit, even on error.
+    """
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _GLOBAL_REGISTRY
+    finally:
+        _GLOBAL_REGISTRY = previous

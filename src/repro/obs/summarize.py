@@ -9,19 +9,45 @@ tuned with.
 from __future__ import annotations
 
 from collections import Counter as TallyCounter
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
-from .events import TraceEvent
+from .events import EVENT_KINDS, TraceEvent
+
+
+def partition_events(
+    events: Sequence[TraceEvent],
+) -> Tuple[List[TraceEvent], Dict[str, int]]:
+    """Split a trace into recognized events and unknown-kind tallies.
+
+    A trace written by a newer tool may carry kinds this build does not
+    know; the contract is to skip them with a warning, never to fail —
+    callers decide what to do when *nothing* is recognized.
+    """
+    known: List[TraceEvent] = []
+    unknown: TallyCounter = TallyCounter()
+    for event in events:
+        if event.kind in EVENT_KINDS:
+            known.append(event)
+        else:
+            unknown[event.kind] += 1
+    return known, dict(unknown)
 
 
 def summarize_trace(events: Sequence[TraceEvent]) -> str:
-    """Human-readable multi-section summary of one run's trace."""
+    """Human-readable multi-section summary of one run's trace.
+
+    Unknown event kinds are ignored here (see :func:`partition_events`
+    for the warn-and-skip entry point the CLI uses).
+    """
+    events, _ = partition_events(events)
     if not events:
         return "empty trace"
     lines: List[str] = []
     lines.extend(_header_lines(events))
     lines.extend(_phase_lines(events))
     lines.extend(_criterion_lines(events))
+    lines.extend(_decision_lines(events))
+    lines.extend(_density_lines(events))
     lines.extend(_reroute_lines(events))
     lines.extend(_violation_lines(events))
     return "\n".join(lines)
@@ -108,6 +134,34 @@ def _criterion_lines(events: Sequence[TraceEvent]) -> List[str]:
     lines.append("  by phase:")
     for phase, count in by_phase.most_common():
         lines.append(f"    {phase:<16s} {count:>7d}")
+    return lines
+
+
+def _decision_lines(events: Sequence[TraceEvent]) -> List[str]:
+    decisions = [e for e in events if e.kind == "deletion_decision"]
+    if not decisions:
+        return []
+    sole = sum(
+        1 for e in decisions if e.data.get("runner_up") is None
+    )
+    return [
+        "",
+        f"decision records: {len(decisions)} "
+        f"({sole} sole-candidate; see `repro trace explain`)",
+    ]
+
+
+def _density_lines(events: Sequence[TraceEvent]) -> List[str]:
+    snapshots = [e for e in events if e.kind == "density_snapshot"]
+    if not snapshots:
+        return []
+    lines = ["", "density snapshots (sum C_M / sum C_m):"]
+    for event in snapshots:
+        channels = event.data.get("channels", [])
+        total_max = sum(int(c.get("c_max", 0)) for c in channels)
+        total_min = sum(int(c.get("c_min", 0)) for c in channels)
+        label = event.data.get("label", "?")
+        lines.append(f"    {label:<18s} {total_max:>6d} {total_min:>6d}")
     return lines
 
 

@@ -1,0 +1,133 @@
+"""Timing-margin attribution: per-net delay decomposition of each
+constraint's critical path, and its trace round-trip."""
+
+import pytest
+
+from repro.analysis import (
+    attributions_from_events,
+    format_attribution,
+)
+from repro.bench.circuits import make_dataset, small_suite
+from repro.core import GlobalRouter, RouterConfig
+from repro.obs import MemorySink
+
+_SPECS = {spec.name: spec for spec in small_suite()}
+
+
+@pytest.fixture(scope="module")
+def routed():
+    dataset = make_dataset(_SPECS["S1P1"])
+    sink = MemorySink()
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(),
+        trace_sink=sink,
+    )
+    result = router.route()
+    return router, result, sink
+
+
+class TestAttributeMargins:
+    def test_covers_every_constraint(self, routed):
+        router, _, _ = routed
+        attributions = router.margin_attribution()
+        assert set(attributions) == {
+            cg.name for cg in router.constraint_graphs
+        }
+
+    def test_net_delays_sum_to_the_critical_path(self, routed):
+        """const + wire contributions plus the source offset must
+        reconstruct the analyzer's worst path delay exactly."""
+        router, _, _ = routed
+        for attribution in router.margin_attribution().values():
+            total = attribution.source_offset_ps + sum(
+                net.delay_ps for net in attribution.nets
+            )
+            assert total == pytest.approx(
+                attribution.worst_delay_ps, abs=1e-6
+            )
+
+    def test_margin_is_limit_minus_delay(self, routed):
+        router, _, _ = routed
+        for attribution in router.margin_attribution().values():
+            assert attribution.margin_ps == pytest.approx(
+                attribution.limit_ps - attribution.worst_delay_ps,
+                abs=1e-6,
+            )
+
+    def test_margins_match_the_result(self, routed):
+        router, result, _ = routed
+        attributions = router.margin_attribution()
+        for name, margin in result.constraint_margins.items():
+            assert attributions[name].margin_ps == pytest.approx(
+                margin, abs=1e-6
+            )
+
+    def test_shares_sum_to_delay_fraction(self, routed):
+        router, _, _ = routed
+        for attribution in router.margin_attribution().values():
+            if attribution.worst_delay_ps <= 0:
+                continue
+            share_total = sum(
+                attribution.share_pct(net) for net in attribution.nets
+            )
+            wire_fraction = 100.0 * (
+                1.0
+                - attribution.source_offset_ps
+                / attribution.worst_delay_ps
+            )
+            assert share_total == pytest.approx(wire_fraction, abs=1e-6)
+
+    def test_wire_delay_scales_with_capacitance(self, routed):
+        router, _, _ = routed
+        for attribution in router.margin_attribution().values():
+            for net in attribution.nets:
+                assert net.arcs >= 1
+                assert net.wire_ps >= 0.0
+                assert net.cap_pf >= 0.0
+                if net.cap_pf == 0.0:
+                    assert net.wire_ps == 0.0
+
+
+class TestTraceRoundTrip:
+    def test_events_reproduce_the_direct_attribution(self, routed):
+        router, _, sink = routed
+        direct = {
+            name: attribution.to_dict()
+            for name, attribution in router.margin_attribution().items()
+        }
+        from_trace = attributions_from_events(sink.events)
+        assert {p["constraint"] for p in from_trace} == set(direct)
+        for payload in from_trace:
+            reference = direct[payload["constraint"]]
+            assert payload["worst_delay_ps"] == pytest.approx(
+                reference["worst_delay_ps"], abs=1e-4
+            )
+            assert payload["margin_ps"] == pytest.approx(
+                reference["margin_ps"], abs=1e-4
+            )
+            assert [n["net"] for n in payload["nets"]] == [
+                n["net"] for n in reference["nets"]
+            ]
+
+    def test_no_attribution_events_yields_empty_list(self, routed):
+        _, _, sink = routed
+        other = [
+            e for e in sink.events if e.kind != "margin_attribution"
+        ]
+        assert attributions_from_events(other) == []
+
+
+class TestFormatting:
+    def test_format_renders_header_and_nets(self, routed):
+        router, _, _ = routed
+        name, attribution = next(
+            iter(router.margin_attribution().items())
+        )
+        text = format_attribution(attribution.to_dict())
+        assert f"constraint {name}" in text
+        assert "margin" in text
+        for net in attribution.nets:
+            assert net.net in text

@@ -1,7 +1,49 @@
 """End-to-end tests for `repro-router batch` and CLI error hardening."""
 
+import json
+
+from repro.bench.circuits import small_suite
+from repro.bench.runner import RunRecord
 from repro.cli import main
+from repro.exec import JobSpec, run_batch
 from repro.obs.manifest import read_manifest
+from repro.obs.metrics import get_registry
+
+
+def _counting_runner(spec):
+    """A job runner that leans on the process-global registry — the
+    pattern the batch engine must isolate per job."""
+    registry = get_registry()
+    registry.counter("test.jobs_seen").inc()
+    return RunRecord(
+        dataset=spec.dataset.name,
+        constrained=spec.constrained,
+        delay_ps=1.0, area_mm2=1.0, length_mm=1.0, cpu_s=0.0,
+        lower_bound_ps=1.0, violations=0, worst_margin_ps=0.0,
+        cells=1, nets=1, n_constraints=0, feed_cells_inserted=0,
+        deletions=0, reroutes=0,
+        metrics=registry.flat(),
+    )
+
+
+class TestRegistryScoping:
+    """run_batch must give every job a fresh global registry: metrics
+    recorded via get_registry() in job N must not leak into job N+1."""
+
+    def test_inline_jobs_do_not_share_registry_state(self):
+        specs = small_suite()[:3]
+        jobs = [JobSpec(spec, True) for spec in specs]
+        sweep = run_batch(jobs, workers=0, runner=_counting_runner)
+        assert sweep.all_ok
+        for record in sweep.records():
+            assert record.metrics["test.jobs_seen"] == 1.0
+
+    def test_batch_leaves_the_callers_registry_untouched(self):
+        registry = get_registry()
+        before = registry.flat().get("test.jobs_seen", 0.0)
+        jobs = [JobSpec(spec, True) for spec in small_suite()[:2]]
+        run_batch(jobs, workers=0, runner=_counting_runner)
+        assert registry.flat().get("test.jobs_seen", 0.0) == before
 
 
 def run_batch_cli(tmp_path, *extra):
@@ -90,6 +132,40 @@ class TestCliErrorHardening:
         code = main(["trace", "summarize", str(bad)])
         assert code == 2
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_trace_summarize_skips_unknown_kinds_with_warning(
+        self, tmp_path, capsys
+    ):
+        """A trace written by a newer tool must summarize, not KeyError."""
+        trace = tmp_path / "newer.jsonl"
+        trace.write_text("\n".join([
+            json.dumps({"kind": "run_start", "seq": 0, "t": 0.0,
+                        "circuit": "demo", "nets": 3}),
+            json.dumps({"kind": "quantum_flux", "seq": 1, "t": 0.1,
+                        "entanglement": 0.9}),
+            json.dumps({"kind": "run_end", "seq": 2, "t": 0.2,
+                        "wall_s": 0.2, "deletions": 0, "reroutes": 0,
+                        "violations": 0}),
+        ]) + "\n")
+        code = main(["trace", "summarize", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "quantum_flux" in captured.err
+        assert "skipping 1 event" in captured.err
+        assert "circuit demo" in captured.out
+
+    def test_trace_summarize_all_unknown_kinds_exits_2(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "alien.jsonl"
+        trace.write_text("\n".join([
+            json.dumps({"kind": "quantum_flux", "seq": 0, "t": 0.0}),
+            json.dumps({"kind": "hyper_lane", "seq": 1, "t": 0.1}),
+        ]) + "\n")
+        code = main(["trace", "summarize", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no recognized events" in captured.err.splitlines()[-1]
 
     def test_compare_missing_archive(self, tmp_path, capsys):
         missing = tmp_path / "gone.json"

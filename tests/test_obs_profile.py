@@ -59,6 +59,51 @@ class TestPhaseProfiler:
         assert profiler.node("p").calls == 1
         assert profiler.depth == 0
 
+    def test_reentered_nested_phase_aggregates_in_one_node(self):
+        profiler = PhaseProfiler()
+        for _ in range(4):
+            with profiler.phase("route"):
+                with profiler.phase("timing_update"):
+                    pass
+                with profiler.phase("timing_update"):
+                    pass
+        route = profiler.node("route")
+        update = profiler.node("route", "timing_update")
+        assert route.calls == 4
+        assert update.calls == 8
+        # Re-entry must not spawn sibling duplicates.
+        assert list(route.children) == ["timing_update"]
+        assert profiler.node("timing_update") is None
+
+    def test_same_name_under_different_parents_stays_distinct(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("initial"):
+            with profiler.phase("timing_update"):
+                pass
+        with profiler.phase("improve_delay"):
+            with profiler.phase("timing_update"):
+                pass
+            with profiler.phase("timing_update"):
+                pass
+        assert profiler.node("initial", "timing_update").calls == 1
+        assert profiler.node("improve_delay", "timing_update").calls == 2
+
+    def test_exception_in_nested_phase_closes_all_spans(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("outer"):
+                with profiler.phase("inner"):
+                    raise RuntimeError("boom")
+        assert profiler.depth == 0
+        assert profiler.node("outer").calls == 1
+        assert profiler.node("outer", "inner").calls == 1
+        # The profiler must stay usable after the unwind: a new scope
+        # lands at the root, not under the phase that blew up.
+        with profiler.phase("after"):
+            pass
+        assert profiler.node("after").calls == 1
+        assert "after" not in profiler.node("outer").children
+
     def test_format_lists_phases_in_order(self):
         profiler = PhaseProfiler()
         with profiler.phase("alpha"):
