@@ -19,6 +19,7 @@ from .heatmap import (
 )
 from .run_diff import (
     BENCH_SELECTION_SCHEMA,
+    BENCH_TREE_SCHEMA,
     DiffThresholds,
     RunDiff,
     classify_input,
@@ -46,6 +47,7 @@ from .wirestats import NetLengthStat, WireStats, wire_stats
 
 __all__ = [
     "BENCH_SELECTION_SCHEMA",
+    "BENCH_TREE_SCHEMA",
     "ComparisonReport",
     "ConstraintAttribution",
     "DensityProfile",

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..obs.manifest import MANIFEST_SCHEMA
 
 BENCH_SELECTION_SCHEMA = "repro-bench-selection/1"
+BENCH_TREE_SCHEMA = "repro-bench-tree/1"
 
 
 @dataclass(frozen=True)
@@ -133,9 +134,12 @@ def classify_input(payload: Dict[str, Any]) -> str:
         return "manifest"
     if schema == BENCH_SELECTION_SCHEMA:
         return "bench"
+    if schema == BENCH_TREE_SCHEMA:
+        return "bench-tree"
     raise ValueError(
         f"unsupported input schema {schema!r} (expected "
-        f"{MANIFEST_SCHEMA!r} or {BENCH_SELECTION_SCHEMA!r})"
+        f"{MANIFEST_SCHEMA!r}, {BENCH_SELECTION_SCHEMA!r} or "
+        f"{BENCH_TREE_SCHEMA!r})"
     )
 
 
@@ -400,6 +404,56 @@ def diff_bench(
     return diff
 
 
+def diff_bench_tree(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> RunDiff:
+    """Compare two ``BENCH_tree.json`` snapshots.
+
+    Dijkstra-run counts are exact routing invariants (no noise), so any
+    growth of the incremental engine's runs beyond ``max_evals_pct`` is
+    gated; wall clocks are report-only unless ``max_wall_pct`` is set.
+    """
+    diff = RunDiff(kind="bench-tree")
+    old_designs = old.get("designs", {})
+    new_designs = new.get("designs", {})
+    for design in sorted(set(old_designs) & set(new_designs)):
+        old_row = old_designs[design]
+        new_row = new_designs[design]
+        _gate_pct(
+            diff,
+            f"{design}.dijkstra_runs_incremental",
+            old_row.get("dijkstra_runs_incremental"),
+            new_row.get("dijkstra_runs_incremental"),
+            thresholds.max_evals_pct,
+        )
+        _gate_pct(
+            diff,
+            f"{design}.repeat_runs_incremental",
+            old_row.get("repeat_runs_incremental"),
+            new_row.get("repeat_runs_incremental"),
+            thresholds.max_evals_pct,
+        )
+        _gate_pct(
+            diff, f"{design}.wall_s_incremental",
+            old_row.get("wall_s_incremental"),
+            new_row.get("wall_s_incremental"),
+            thresholds.max_wall_pct,
+        )
+        _gate_delta(
+            diff, f"{design}.deletions",
+            old_row.get("deletions"), new_row.get("deletions"),
+            None,
+        )
+    missing = sorted(set(old_designs) - set(new_designs))
+    if missing:
+        diff.failures.append(
+            f"designs missing from new snapshot: {', '.join(missing)}"
+        )
+    return diff
+
+
 def diff_runs(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -416,6 +470,8 @@ def diff_runs(
         )
     if kind_old == "bench":
         return diff_bench(old, new, thresholds)
+    if kind_old == "bench-tree":
+        return diff_bench_tree(old, new, thresholds)
     diff = diff_manifests(old, new, thresholds)
     if old_events is not None and new_events is not None:
         diff_traces(diff, old_events, new_events, thresholds)

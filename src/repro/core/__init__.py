@@ -5,6 +5,7 @@ from .candidates import CandidateEngine, RescanSelector
 from .config import RouterConfig
 from .density import DensityEngine, ChannelStats, EdgeDensityParams
 from .criteria import (
+    ConstraintArcRows,
     DelayCriteria,
     NetTimingContext,
     evaluate_delay_criteria,
@@ -19,6 +20,7 @@ from .verify import verify_routing
 __all__ = [
     "CandidateEngine",
     "ChannelStats",
+    "ConstraintArcRows",
     "DelayCriteria",
     "DensityEngine",
     "EdgeDensityParams",

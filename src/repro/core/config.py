@@ -44,6 +44,13 @@ class RouterConfig:
             deletion) or ``"rescan"`` (the seed's full scan of every
             candidate, kept as the equivalence/bench baseline).  Both
             produce the identical deletion sequence.
+        tree_engine: how tentative trees are (re)evaluated per candidate
+            — ``"incremental"`` (default; off-tree fast path,
+            early-terminated Dijkstra on a flat CSR adjacency, and
+            version-stamped ``cl_if_deleted`` revalidation) or ``"full"``
+            (the seed's full Dijkstra per evaluation, kept as the
+            equivalence/bench baseline).  Both produce bit-identical
+            tree lengths and therefore identical routing.
         assignment_order: feedthrough-assignment net order — ``None``
             picks the paper's behaviour (ascending zero-wire slack when
             timing-driven, netlist order otherwise); explicit options are
@@ -70,6 +77,7 @@ class RouterConfig:
     reassign_slots_on_reroute: bool = True
     tree_estimator: str = "spt"
     selection_engine: str = "incremental"
+    tree_engine: str = "incremental"
     assignment_order: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -90,6 +98,10 @@ class RouterConfig:
         if self.selection_engine not in ("incremental", "rescan"):
             raise ConfigError(
                 f"unknown selection_engine {self.selection_engine!r}"
+            )
+        if self.tree_engine not in ("incremental", "full"):
+            raise ConfigError(
+                f"unknown tree_engine {self.tree_engine!r}"
             )
         if self.assignment_order not in (
             None, "slack", "netlist", "fanout", "hpwl",
@@ -118,5 +130,6 @@ class RouterConfig:
             reassign_slots_on_reroute=self.reassign_slots_on_reroute,
             tree_estimator=self.tree_estimator,
             selection_engine=self.selection_engine,
+            tree_engine=self.tree_engine,
             assignment_order=self.assignment_order,
         )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, List, Mapping
+from typing import ClassVar, Dict, List, Mapping, Tuple
 
 from ..errors import TimingError
 from ..netlist.circuit import Net
@@ -60,6 +60,32 @@ class DelayCriteria:
 DelayCriteria.ZERO = DelayCriteria(0, 0.0, 0.0)
 
 
+@dataclass(frozen=True)
+class ConstraintArcRows:
+    """One net's arcs within one constraint graph, fully resolved.
+
+    Each row is ``(arc, tail_position, head_position)`` — the
+    ``arcs_of_net`` indirection and both ``cg.pos`` lookups done once,
+    since the mapping is static for the run while the criteria loop
+    walks it on every candidate evaluation.  Row order matches
+    ``arcs_of_net`` so float accumulations are unchanged.
+    """
+
+    cg: ConstraintGraph
+    rows: Tuple[tuple, ...]
+
+    @staticmethod
+    def build(cg: ConstraintGraph, net: Net) -> "ConstraintArcRows":
+        rows = tuple(
+            (arc, cg.pos[arc.tail], cg.pos[arc.head])
+            for arc in (
+                cg.arcs[position]
+                for position in cg.arcs_of_net.get(net.name, ())
+            )
+        )
+        return ConstraintArcRows(cg, rows)
+
+
 @dataclass
 class NetTimingContext:
     """Static per-net timing context: which constraint graphs the net's
@@ -67,10 +93,27 @@ class NetTimingContext:
 
     net: Net
     constraints: List[ConstraintGraph] = field(default_factory=list)
+    _arc_rows: List[ConstraintArcRows] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def constrained(self) -> bool:
         return bool(self.constraints)
+
+    def arc_rows(self) -> List[ConstraintArcRows]:
+        """Pre-resolved arc rows, one entry per constraint graph.
+
+        Rebuilt lazily if ``constraints`` was appended to after
+        construction (hand-built contexts in tests do this); contexts
+        from :meth:`build_all` get theirs resolved up front.
+        """
+        if len(self._arc_rows) != len(self.constraints):
+            self._arc_rows[:] = [
+                ConstraintArcRows.build(cg, self.net)
+                for cg in self.constraints
+            ]
+        return self._arc_rows
 
     @staticmethod
     def build_all(
@@ -82,7 +125,28 @@ class NetTimingContext:
                 context = contexts.get(net.name)
                 if context is not None:
                     context.constraints.append(cg)
+        for context in contexts.values():
+            context.arc_rows()
         return contexts
+
+
+def _worst_excess(
+    rows: Tuple[tuple, ...],
+    timing: ConstraintTiming,
+    cl_if_deleted_pf: float,
+) -> float:
+    worst_excess = 0.0
+    lp = timing.lp
+    for arc, tail_position, head_position in rows:
+        lp_tail = lp[tail_position]
+        lp_head = lp[head_position]
+        if lp_tail == float("-inf") or lp_head == float("-inf"):
+            continue
+        d_new = arc.const_ps + cl_if_deleted_pf * arc.td_ps_per_pf
+        excess = lp_tail + d_new - lp_head
+        if excess > worst_excess:
+            worst_excess = excess
+    return worst_excess
 
 
 def local_margin(
@@ -93,18 +157,8 @@ def local_margin(
 ) -> float:
     """``LM(e, P)`` for an edge of ``net`` whose deletion would leave the
     net with wiring capacitance ``cl_if_deleted_pf``."""
-    worst_excess = 0.0
-    for position in cg.arcs_of_net.get(net.name, ()):
-        arc = cg.arcs[position]
-        lp_tail = timing.lp[cg.pos[arc.tail]]
-        lp_head = timing.lp[cg.pos[arc.head]]
-        if lp_tail == float("-inf") or lp_head == float("-inf"):
-            continue
-        d_new = arc.const_ps + cl_if_deleted_pf * arc.td_ps_per_pf
-        excess = lp_tail + d_new - lp_head
-        if excess > worst_excess:
-            worst_excess = excess
-    return timing.margin_ps - worst_excess
+    rows = ConstraintArcRows.build(cg, net).rows
+    return timing.margin_ps - _worst_excess(rows, timing, cl_if_deleted_pf)
 
 
 def evaluate_delay_criteria(
@@ -127,15 +181,19 @@ def evaluate_delay_criteria(
     global_delay = 0.0
     local_delay = 0.0
     delta_cl = cl_if_deleted_pf - cl_now_pf
-    for cg in context.constraints:
+    for arc_rows in context.arc_rows():
+        cg = arc_rows.cg
         timing = timings[cg.name]
-        lm = local_margin(cg, timing, context.net, cl_if_deleted_pf)
+        lm = timing.margin_ps - _worst_excess(
+            arc_rows.rows, timing, cl_if_deleted_pf
+        )
         if lm <= 0.0:
             critical_count += 1
         global_delay += penalty(lm, cg.limit_ps) - penalty(
             timing.margin_ps, cg.limit_ps
         )
-        for position in cg.arcs_of_net.get(context.net.name, ()):
-            arc = cg.arcs[position]
+        # Accumulated per arc, in row order, to keep the float sum
+        # bit-identical to the pre-resolved-rows implementation.
+        for arc, _, _ in arc_rows.rows:
             local_delay += delta_cl * arc.td_ps_per_pf
     return DelayCriteria(critical_count, global_delay, local_delay)

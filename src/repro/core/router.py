@@ -35,6 +35,7 @@ uninstrumented route costs what it always did.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from functools import partial
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..bipolar.differential import (
@@ -60,6 +61,7 @@ from ..obs.profile import PhaseProfiler
 from ..routegraph.build import build_routing_graph
 from ..routegraph.graph import EdgeKind, RouteEdge, RoutingGraph
 from ..routegraph.tentative_tree import ESTIMATORS, TentativeTree
+from ..routegraph.tree_engine import FullTreeEngine, make_tree_engine
 from ..timing.constraint import (
     ConstraintGraph,
     PathConstraint,
@@ -95,6 +97,7 @@ class _NetState:
         "net",
         "graph",
         "tree",
+        "tree_engine",
         "cl_pf",
         "cl_if_deleted",
         "context",
@@ -107,8 +110,9 @@ class _NetState:
         self.net = net
         self.graph = graph
         self.tree: Optional[TentativeTree] = None
-        self.cl_pf = 0.0
-        self.cl_if_deleted: Dict[int, float] = {}
+        self.tree_engine: Optional[FullTreeEngine] = None
+        # edge_id -> (cl_pf, tree-engine version at evaluation time).
+        self.cl_if_deleted: Dict[int, Tuple[float, int]] = {}
         self.context: Optional[NetTimingContext] = None
         self.pair: Optional[PairCorrespondence] = None
         self.follower_of: Optional[str] = None
@@ -141,6 +145,8 @@ class GlobalRouter:
         self.delay_model = CapacitanceDelayModel(
             config.technology, config.width_cap_exponent
         )
+        # Validates the estimator name eagerly; the per-net tree engines
+        # (see _bind_tree_engine) own the actual evaluation.
         self._estimate_tree = ESTIMATORS[config.tree_estimator]
 
         # Populated by route():
@@ -174,6 +180,19 @@ class GlobalRouter:
         self._m_reroutes = self.metrics.counter("router.reroutes")
         self._m_reverted = self.metrics.counter("router.reroutes_reverted")
         self._m_timing = self.metrics.counter("router.timing_analyses")
+        self._m_tree_evals = self.metrics.counter("router.tree_evals")
+        self._m_tree_fastpath = self.metrics.counter(
+            "router.tree_fastpath_hits"
+        )
+        self._m_tree_dijkstra = self.metrics.counter(
+            "router.tree_dijkstra_runs"
+        )
+        self._m_tree_repeats = self.metrics.counter(
+            "router.tree_dijkstra_repeats"
+        )
+        self._m_tree_traversals = self.metrics.counter(
+            "router.tree_traversals"
+        )
         self._phase_stack: List[str] = []
         # Decision explainability: both candidate engines record the
         # outcome of each select() here (when tracing), and the deletion
@@ -453,27 +472,80 @@ class GlobalRouter:
     # ==================================================================
     # Tentative trees and wire caps
     # ==================================================================
-    def _refresh_tree(self, state: _NetState) -> None:
-        tree = self._estimate_tree(state.graph)
+    def _bind_tree_engine(self, state: _NetState) -> None:
+        """(Re)attach a tree engine to the state's *current* graph.
+
+        Graph objects are replaced wholesale by ``reroute_net`` (and its
+        rollback), and edge ids are only meaningful within one build, so
+        the per-candidate cache must go whenever the engine is rebound.
+        """
+        state.tree_engine = make_tree_engine(
+            self.config.tree_engine,
+            state.graph,
+            self.config.tree_estimator,
+            evals=self._m_tree_evals,
+            fastpath_hits=self._m_tree_fastpath,
+            dijkstra_runs=self._m_tree_dijkstra,
+            dijkstra_repeats=self._m_tree_repeats,
+            traversals=self._m_tree_traversals,
+            timer=partial(self.metrics.timer, "router.tree_eval_s"),
+        )
+        state.cl_if_deleted.clear()
+
+    def _tree_engine(self, state: _NetState) -> FullTreeEngine:
+        engine = state.tree_engine
+        if engine is None or engine.graph is not state.graph:
+            self._bind_tree_engine(state)
+            engine = state.tree_engine
+        return engine
+
+    def _refresh_tree(
+        self,
+        state: _NetState,
+        removed: Optional[Sequence[int]] = None,
+    ) -> None:
+        engine = self._tree_engine(state)
+        tree = engine.refresh(removed)
         if tree is None:
             raise RoutingError(
                 f"net {state.net.name}: terminals unreachable"
             )
-        state.tree = tree
-        state.cl_pf = self.delay_model.wire_cap_pf(
-            tree.total_length_um, state.net.width_pitches
-        )
-        self.caps.set(state.net, state.cl_pf)
-        state.cl_if_deleted.clear()
-        state.key_cache.clear()
+        unchanged = tree is state.tree
+        if not unchanged:
+            state.tree = tree
+            state.cl_pf = self.delay_model.wire_cap_pf(
+                tree.total_length_um, state.net.width_pitches
+            )
+            self.caps.set(state.net, state.cl_pf)
+        if engine.kind != "incremental":
+            # Seed behaviour: every candidate re-evaluates from scratch.
+            # The incremental engine instead keeps the entries — they are
+            # version-stamped and revalidate through the off-tree fast
+            # path on their next lookup.
+            state.cl_if_deleted.clear()
         if self.config.timing_driven and state.context.constrained:
+            # Constrained keys embed per-candidate cl_if_deleted values
+            # that may shift with any change to this net's graph (a
+            # candidate's detour can run through a removed edge even
+            # when the tree itself survived), so their cache must go.
+            # Unconstrained keys have a constant delay subkey and carry
+            # density/timing version stamps that already catch every
+            # other invalidation — keep them.
+            state.key_cache.clear()
+            # Even when the tree object survived (off-tree deletion),
+            # this net's candidate detours may have run through the
+            # removed edge, shifting their cl_if_deleted values.  The
+            # timing-version bump is what tells the selection engine to
+            # re-key this net's candidates everywhere — skipping it
+            # leaves stale heap keys behind current-looking stamps.
             self._timing_dirty = True
 
     def _cl_if_deleted(self, state: _NetState, edge_id: int) -> float:
+        engine = self._tree_engine(state)
         cached = state.cl_if_deleted.get(edge_id)
-        if cached is not None:
-            return cached
-        tree = self._estimate_tree(state.graph, skip_edge=edge_id)
+        if cached is not None and cached[1] == engine.version:
+            return cached[0]
+        tree = engine.evaluate(edge_id)
         if tree is None:
             raise RoutingError(
                 f"net {state.net.name}: edge {edge_id} is essential but "
@@ -482,7 +554,7 @@ class GlobalRouter:
         cl = self.delay_model.wire_cap_pf(
             tree.total_length_um, state.net.width_pitches
         )
-        state.cl_if_deleted[edge_id] = cl
+        state.cl_if_deleted[edge_id] = (cl, engine.version)
         return cl
 
     # ==================================================================
@@ -678,7 +750,7 @@ class GlobalRouter:
             self.engine.remove_edge(state.graph.edges[removed], weight)
         for essential in result.newly_essential:
             self.engine.add_bridge(state.graph.edges[essential], weight)
-        self._refresh_tree(state)
+        self._refresh_tree(state, removed=result.removed)
 
     def _mirror_deletion(self, state: _NetState, edge_id: int) -> None:
         partner = self.states[state.pair.partner_net]
@@ -783,7 +855,11 @@ class GlobalRouter:
             member.tree = tree
             member.cl_pf = cl
             self.caps.set(member.net, cl)
-            member.cl_if_deleted.clear()
+            # Rebind the tree engine to the restored graph (the reroute
+            # bound it to the discarded one) and hand it the snapshotted
+            # tree so the off-tree fast path works immediately.
+            self._bind_tree_engine(member)
+            member.tree_engine.tree = tree
             member.key_cache.clear()
         if state.pair is not None:
             # The correspondence was rebuilt against the discarded graphs;

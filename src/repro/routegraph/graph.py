@@ -142,6 +142,9 @@ class RoutingGraph:
         for edge in self.edges:
             self._adjacency[edge.u].append(edge.index)
             self._adjacency[edge.v].append(edge.index)
+        self._csr: Optional[
+            Tuple[List[int], List[int], List[int], List[float]]
+        ] = None
         self._check_initial()
         # Initial cleanup: prune fragments that can never serve the net
         # (e.g. the unused side of a single-point channel) and classify.
@@ -188,6 +191,38 @@ class RoutingGraph:
 
     def degree(self, vertex: int) -> int:
         return sum(1 for _ in self.neighbours(vertex))
+
+    def csr(self) -> Tuple[List[int], List[int], List[int], List[float]]:
+        """Flat adjacency over the *alive* edges, CSR-style.
+
+        Returns ``(indptr, nbr_vertex, nbr_edge, nbr_length)``: the
+        alive neighbours of vertex ``v`` occupy slots
+        ``indptr[v]:indptr[v + 1]`` of the three parallel arrays.
+        Neighbour order matches :meth:`neighbours` (ascending edge
+        index per vertex), so graph walks over either representation
+        break ties identically.  The arrays are cached and rebuilt
+        lazily after any deletion/reclassification — the tentative-tree
+        engine's Dijkstra runs on them instead of re-filtering the
+        per-vertex edge lists on every visit.
+        """
+        if self._csr is None:
+            indptr: List[int] = [0]
+            nbr_vertex: List[int] = []
+            nbr_edge: List[int] = []
+            nbr_length: List[float] = []
+            alive = self.alive
+            edges = self.edges
+            for vertex in range(len(self.vertices)):
+                for edge_id in self._adjacency[vertex]:
+                    if alive[edge_id]:
+                        edge = edges[edge_id]
+                        other = edge.v if vertex == edge.u else edge.u
+                        nbr_vertex.append(other)
+                        nbr_edge.append(edge_id)
+                        nbr_length.append(edge.length_um)
+                indptr.append(len(nbr_vertex))
+            self._csr = (indptr, nbr_vertex, nbr_edge, nbr_length)
+        return self._csr
 
     @property
     def is_tree(self) -> bool:
@@ -243,6 +278,7 @@ class RoutingGraph:
 
         Returns ``(pruned_edge_ids, newly_essential_edge_ids)``.
         """
+        self._csr = None
         pruned = self._prune_unreachable()
         pruned.extend(self._prune_terminal_free_subtrees())
         newly_essential = self._refresh_essential()

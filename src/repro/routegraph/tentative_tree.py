@@ -38,6 +38,41 @@ class TentativeTree:
         return max(self.terminal_path_um.values(), default=0.0)
 
 
+def collect_union(
+    graph: RoutingGraph, dist: List[float], parent_edge: List[int]
+) -> Optional[TentativeTree]:
+    """Backtrace the shortest-path union from Dijkstra labels.
+
+    Walks each terminal back to the driver along ``parent_edge``, adding
+    edges until a previously-collected path is joined.  Shared by the
+    reference estimator and the incremental tree engine so both build
+    ``edge_ids`` through the *same insertion sequence* — the set's
+    iteration order, and therefore the float summation order of
+    ``total_length_um``, is bit-identical between the two.
+    """
+    driver = graph.driver_vertex
+    terminal_path_um: Dict[int, float] = {}
+    edge_ids: Set[int] = set()
+    for terminal in graph.terminal_vertices:
+        if math.isinf(dist[terminal]):
+            return None
+        terminal_path_um[terminal] = dist[terminal]
+        vertex = terminal
+        while vertex != driver:
+            edge_id = parent_edge[vertex]
+            if edge_id == -1:
+                raise RoutingGraphError(
+                    f"net {graph.net.name}: broken shortest-path parents"
+                )
+            if edge_id in edge_ids:
+                break  # joined an already-collected path
+            edge_ids.add(edge_id)
+            vertex = graph.edges[edge_id].other(vertex)
+
+    total = sum(graph.edges[e].length_um for e in edge_ids)
+    return TentativeTree(edge_ids, total, terminal_path_um)
+
+
 def compute_tentative_tree(
     graph: RoutingGraph, skip_edge: Optional[int] = None
 ) -> Optional[TentativeTree]:
@@ -65,26 +100,7 @@ def compute_tentative_tree(
                 parent_edge[other] = edge.index
                 heapq.heappush(heap, (nd, other))
 
-    terminal_path_um: Dict[int, float] = {}
-    edge_ids: Set[int] = set()
-    for terminal in graph.terminal_vertices:
-        if math.isinf(dist[terminal]):
-            return None
-        terminal_path_um[terminal] = dist[terminal]
-        vertex = terminal
-        while vertex != driver:
-            edge_id = parent_edge[vertex]
-            if edge_id == -1:
-                raise RoutingGraphError(
-                    f"net {graph.net.name}: broken shortest-path parents"
-                )
-            if edge_id in edge_ids:
-                break  # joined an already-collected path
-            edge_ids.add(edge_id)
-            vertex = graph.edges[edge_id].other(vertex)
-
-    total = sum(graph.edges[e].length_um for e in edge_ids)
-    return TentativeTree(edge_ids, total, terminal_path_um)
+    return collect_union(graph, dist, parent_edge)
 
 
 def compute_steiner_tree(

@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis.run_diff import (
     BENCH_SELECTION_SCHEMA,
+    BENCH_TREE_SCHEMA,
     DiffThresholds,
     classify_input,
     deletion_divergence,
@@ -210,6 +211,59 @@ class TestBenchDiff:
         code = main(["compare-runs", str(path), str(path)])
         assert code == 0
         assert "compare-runs (bench)" in capsys.readouterr().out
+
+
+def _bench_tree_snapshot(**overrides):
+    design = {
+        "deletions": 90,
+        "dijkstra_runs_full": 913,
+        "dijkstra_runs_incremental": 402,
+        "repeat_runs_full": 345,
+        "repeat_runs_incremental": 113,
+        "repeat_speedup": 3.05,
+        "fastpath_hit_rate_incremental": 0.46,
+        "wall_s_full": 0.27,
+        "wall_s_incremental": 0.21,
+    }
+    design.update(overrides)
+    return {
+        "schema": BENCH_TREE_SCHEMA,
+        "suite": "small",
+        "designs": {"S1P1": design},
+    }
+
+
+class TestBenchTreeDiff:
+    def test_identical_snapshots_pass(self):
+        old = _bench_tree_snapshot()
+        diff = diff_runs(old, _bench_tree_snapshot(), DiffThresholds())
+        assert diff.kind == "bench-tree"
+        assert diff.ok
+
+    def test_dijkstra_run_regression_fails(self):
+        old = _bench_tree_snapshot()
+        new = _bench_tree_snapshot(dijkstra_runs_incremental=900)
+        diff = diff_runs(old, new, DiffThresholds(max_evals_pct=25.0))
+        assert not diff.ok
+
+    def test_repeat_run_regression_fails(self):
+        old = _bench_tree_snapshot()
+        new = _bench_tree_snapshot(repeat_runs_incremental=340)
+        diff = diff_runs(old, new, DiffThresholds(max_evals_pct=25.0))
+        assert not diff.ok
+
+    def test_wall_gate_off_by_default(self):
+        old = _bench_tree_snapshot()
+        new = _bench_tree_snapshot(wall_s_incremental=10.0)
+        diff = diff_runs(old, new, DiffThresholds())
+        assert diff.ok
+
+    def test_committed_snapshot_accepted_by_cli(self, tmp_path, capsys):
+        path = tmp_path / "bench_tree.json"
+        path.write_text(json.dumps(_bench_tree_snapshot()))
+        code = main(["compare-runs", str(path), str(path)])
+        assert code == 0
+        assert "compare-runs (bench-tree)" in capsys.readouterr().out
 
 
 class TestInputClassification:

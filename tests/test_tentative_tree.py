@@ -1,13 +1,32 @@
-"""Tests for repro.routegraph.tentative_tree."""
+"""Tests for repro.routegraph.tentative_tree and the tree engines."""
 
 import math
+from itertools import islice
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.bench.circuits import (
+    CircuitSpec,
+    DatasetSpec,
+    FeedStyle,
+    make_dataset,
+)
+from repro.core import GlobalRouter, RouterConfig
 from repro.layout.placement import Placement
 from repro.netlist import Circuit
-from repro.routegraph import build_routing_graph, compute_tentative_tree
+from repro.routegraph import (
+    FullTreeEngine,
+    IncrementalTreeEngine,
+    build_routing_graph,
+    compute_tentative_tree,
+    dijkstra_to_terminals,
+    make_tree_engine,
+    tree_graph_labels,
+)
 from repro.routegraph.graph import EdgeKind
+from repro.routegraph.tentative_tree import collect_union
 from repro.tech import Technology
 
 
@@ -103,3 +122,217 @@ class TestTentativeTree:
         assert tree.total_length_um == pytest.approx(
             graph.total_alive_length_um()
         )
+
+
+def _assert_same_tree(reference, candidate):
+    """Bit-exact agreement — no approx: the engines' contract."""
+    assert (reference is None) == (candidate is None)
+    if reference is None:
+        return
+    assert candidate.edge_ids == reference.edge_ids
+    assert candidate.total_length_um == reference.total_length_um
+    assert candidate.terminal_path_um == reference.terminal_path_um
+
+
+class TestEarlyTermination:
+    """``dijkstra_to_terminals`` may stop at the last settled terminal;
+    the exhaustive run is the referee.  ``star_setup`` places a terminal
+    mid-graph (col 5, between driver col 3 and far sink col 9), so the
+    cutoff genuinely fires before the far reaches are settled."""
+
+    def test_matches_exhaustive_for_every_skip(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        for skip in [None] + [e.index for e in graph.alive_edges()]:
+            early = dijkstra_to_terminals(graph, skip)
+            exhaustive = dijkstra_to_terminals(
+                graph, skip, exhaustive=True
+            )
+            _assert_same_tree(exhaustive, early)
+
+    def test_matches_reference_estimator(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        for skip in [None] + [e.index for e in graph.alive_edges()]:
+            _assert_same_tree(
+                compute_tentative_tree(graph, skip),
+                dijkstra_to_terminals(graph, skip),
+            )
+
+
+class TestTreeGraphTraversal:
+    def test_converged_graph_traversal_is_bit_identical(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        assert graph.is_tree
+        dist, parent_edge = tree_graph_labels(graph)
+        _assert_same_tree(
+            compute_tentative_tree(graph),
+            collect_union(graph, dist, parent_edge),
+        )
+
+
+class _Counter:
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class TestTreeEngines:
+    def test_make_tree_engine_rejects_unknown_kind(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        with pytest.raises(ValueError):
+            make_tree_engine("nope", graph)
+
+    def test_off_tree_candidate_is_fast_path(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        runs, fast = _Counter(), _Counter()
+        engine = IncrementalTreeEngine(
+            graph, dijkstra_runs=runs, fastpath_hits=fast
+        )
+        tree = engine.refresh()
+        off_tree = [
+            e.index
+            for e in graph.alive_edges()
+            if e.index not in tree.edge_ids
+        ]
+        assert off_tree, "star graph should offer off-tree candidates"
+        before = runs.value
+        for edge_id in off_tree:
+            assert engine.evaluate(edge_id) is tree
+        assert runs.value == before
+        assert fast.value == len(off_tree)
+
+    def test_alternate_is_reused_after_deletion(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        runs = _Counter()
+        engine = IncrementalTreeEngine(graph, dijkstra_runs=runs)
+        tree = engine.refresh()
+        victim = next(
+            e for e in graph.deletable_edges() if e in tree.edge_ids
+        )
+        alternate = engine.evaluate(victim)
+        version = engine.version
+        before = runs.value
+        removed = graph.delete(victim).removed
+        refreshed = engine.refresh(removed)
+        assert refreshed is alternate
+        assert runs.value == before  # memo hit, no new Dijkstra
+        assert engine.version == version + 1
+
+    def test_version_bumps_even_when_tree_unchanged(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        engine = IncrementalTreeEngine(graph)
+        tree = engine.refresh()
+        off_tree = next(
+            e
+            for e in graph.deletable_edges()
+            if e not in tree.edge_ids
+        )
+        version = engine.version
+        removed = graph.delete(off_tree).removed
+        assert engine.refresh(removed) is tree
+        assert engine.version == version + 1
+
+    def test_converged_refresh_avoids_dijkstra(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        runs, traversals = _Counter(), _Counter()
+        engine = IncrementalTreeEngine(
+            graph, dijkstra_runs=runs, traversals=traversals
+        )
+        _assert_same_tree(compute_tentative_tree(graph), engine.refresh())
+        assert runs.value == 0
+        assert traversals.value == 1
+
+    def test_essential_candidate_returns_none(self, library):
+        _, placement, net = star_setup(library)
+        graph = build_routing_graph(net, placement, {})
+        while graph.deletable_edges():
+            graph.delete(graph.deletable_edges()[0])
+        full = FullTreeEngine(graph)
+        incremental = IncrementalTreeEngine(graph)
+        full.refresh()
+        incremental.refresh()
+        essential = next(e.index for e in graph.alive_edges())
+        assert full.evaluate(essential) is None
+        assert incremental.evaluate(essential) is None
+
+
+def _prepared_router(circuit_seed: int) -> GlobalRouter:
+    spec = DatasetSpec(
+        f"tree{circuit_seed}",
+        CircuitSpec(
+            f"T{circuit_seed}",
+            n_gates=20,
+            n_flops=4,
+            n_inputs=4,
+            n_outputs=3,
+            n_diff_pairs=1,
+            seed=circuit_seed,
+        ),
+        FeedStyle.EVEN,
+        n_constraints=4,
+    )
+    dataset = make_dataset(spec)
+    router = GlobalRouter(
+        dataset.circuit,
+        dataset.placement,
+        dataset.constraints,
+        RouterConfig(),
+    )
+    router._build_timing()
+    router._assign_pins_and_feedthroughs()
+    router._build_routing_graphs()
+    return router
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(circuit_seed=st.integers(min_value=0, max_value=9999), data=st.data())
+def test_engines_agree_on_random_graphs(circuit_seed, data):
+    """Property: on randomly generated routing graphs, driven through a
+    random deletion walk, both engines agree bit-exactly with the
+    reference estimator — for the refreshed tree and for *every* alive
+    deletable skip edge at every step."""
+    router = _prepared_router(circuit_seed)
+    graphs = [
+        state.graph for state in islice(router.states.values(), 10)
+    ]
+    for graph in graphs:
+        full = FullTreeEngine(graph)
+        incremental = IncrementalTreeEngine(graph)
+        _assert_same_tree(full.refresh(), incremental.refresh())
+        for _ in range(4):
+            candidates = graph.deletable_edges()
+            if not candidates:
+                break
+            for edge_id in candidates:
+                reference = compute_tentative_tree(graph, edge_id)
+                _assert_same_tree(reference, full.evaluate(edge_id))
+                _assert_same_tree(
+                    reference, incremental.evaluate(edge_id)
+                )
+            victim = candidates[
+                data.draw(
+                    st.integers(0, len(candidates) - 1),
+                    label="victim",
+                )
+            ]
+            removed = graph.delete(victim).removed
+            _assert_same_tree(
+                full.refresh(removed), incremental.refresh(removed)
+            )
