@@ -1,0 +1,179 @@
+"""CI smoke test for the routing service (`repro-router serve`).
+
+Black-box, over real HTTP against a real server subprocess:
+
+1. start ``python -m repro.cli serve`` on an ephemeral port with a
+   fresh cache directory, logging to ``server.log``;
+2. wait for ``/healthz``;
+3. submit a cold ``C1P1`` route job; assert it completes un-cached and
+   ``service.pool_executions`` is 1;
+4. resubmit the identical payload; assert the job is terminal
+   immediately with ``cached: true``, that ``service.cache_hits`` >= 1,
+   and that ``service.pool_executions`` did **not** grow — the warm
+   path never re-routes;
+5. sanity-check ``/healthz`` and ``/stats`` shapes;
+6. SIGINT the server and assert it exits 0 (graceful drain).
+
+Exit code 0 on success, 1 on any assertion failure (the server log is
+uploaded by CI when that happens).
+
+Usage::
+
+    python benchmarks/service_smoke.py [--dataset C1P1] [--log-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.service import ServiceClient  # noqa: E402
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+    print(f"  ok: {message}")
+
+
+def wait_for_healthz(client: ServiceClient, timeout_s: float) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz()["status"] == "ok":
+                return
+        except Exception:
+            pass
+        time.sleep(0.2)
+    raise SmokeFailure(f"/healthz not ready within {timeout_s}s")
+
+
+def read_banner_port(log_path: Path, timeout_s: float) -> int:
+    """The serve banner prints the bound (ephemeral) port."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        text = log_path.read_text() if log_path.exists() else ""
+        if "listening on http://" in text:
+            address = text.split("listening on http://")[1].split()[0]
+            return int(address.rsplit(":", 1)[1])
+        time.sleep(0.2)
+    raise SmokeFailure(f"no listening banner within {timeout_s}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="C1P1")
+    parser.add_argument(
+        "--log-dir", type=Path, default=Path("service-smoke"),
+        help="server log + cache location (uploaded by CI on failure)",
+    )
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args()
+
+    args.log_dir.mkdir(parents=True, exist_ok=True)
+    log_path = args.log_dir / "server.log"
+    cache_dir = args.log_dir / "cache"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parent.parent / "src"
+    )
+    print(f"starting server (log: {log_path}) ...")
+    with open(log_path, "w") as log_file:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", "2",
+                "--cache-dir", str(cache_dir),
+            ],
+            stdout=log_file, stderr=subprocess.STDOUT, env=env,
+        )
+    try:
+        port = read_banner_port(log_path, args.timeout)
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        wait_for_healthz(client, args.timeout)
+        print(f"server up on port {port}")
+
+        payload = {"kind": "route", "dataset": args.dataset}
+
+        print("cold submission ...")
+        cold = client.submit(payload)
+        cold_final = client.wait(cold["id"], timeout_s=args.timeout)
+        check(cold_final["status"] == "done",
+              f"cold {args.dataset} job completed")
+        check(cold_final["cached"] is False, "cold job was computed")
+        cold_result = client.result(cold["id"])
+        check(
+            cold_result["result"]["record"]["dataset"] == args.dataset,
+            "cold result carries the routed record",
+        )
+        cold_metrics = client.stats()["metrics"]
+        check(cold_metrics.get("service.pool_executions") == 1.0,
+              "cold run executed on the pool exactly once")
+
+        print("warm resubmission ...")
+        warm = client.submit(payload)
+        check(warm["status"] == "done",
+              "warm submission terminal immediately")
+        check(warm["cached"] is True, "warm submission served from cache")
+        check(warm["id"] != cold["id"], "warm submission is a new job")
+        warm_result = client.result(warm["id"])
+        check(
+            warm_result["result"]["record"]["delay_ps"]
+            == cold_result["result"]["record"]["delay_ps"],
+            "warm record identical to cold record",
+        )
+        warm_metrics = client.stats()["metrics"]
+        check(warm_metrics.get("service.cache_hits", 0.0) >= 1.0,
+              "service.cache_hits incremented")
+        check(
+            warm_metrics.get("service.pool_executions")
+            == cold_metrics.get("service.pool_executions"),
+            "warm resubmission did not re-route (pool count flat)",
+        )
+
+        print("introspection ...")
+        health = client.healthz()
+        check(health["status"] == "ok", "/healthz reports ok")
+        stats = client.stats()
+        check(stats["schema"] == "repro-service-stats/1",
+              "/stats schema present")
+        check(stats["cache"]["entries"] >= 1,
+              "/stats reports cache occupancy")
+        check(stats["jobs"].get("done", 0) >= 2,
+              "/stats counts both jobs done")
+
+        print("graceful shutdown (SIGINT) ...")
+        server.send_signal(signal.SIGINT)
+        code = server.wait(timeout=60)
+        check(code == 0, f"server exited cleanly (code {code})")
+    except SmokeFailure as failure:
+        print(f"SMOKE FAILED: {failure}", file=sys.stderr)
+        print(f"--- {log_path} ---", file=sys.stderr)
+        if log_path.exists():
+            sys.stderr.write(log_path.read_text())
+        return 1
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ Installed as ``repro-router``.  Subcommands:
     (:mod:`repro.exec`): N worker processes, per-job timeout, bounded
     retry, and a content-addressed result cache so warm re-runs and
     interrupted sweeps skip completed jobs.
+``serve``
+    Run the routing service (:mod:`repro.service`): a long-lived
+    HTTP/JSON job server executing route/explain/compare submissions on
+    the batch engine, with the result cache as shared artifact store.
 
 Exit codes: 0 success; 1 operational failure (violations, failed batch
 jobs); 2 unusable input (missing, empty, or malformed file).
@@ -29,6 +33,7 @@ Examples::
     repro-router route demo.rnl --constraints 6 --trace out.jsonl --metrics
     repro-router trace summarize out.jsonl
     repro-router batch --suite small --workers 4 --retries 1 --cache-dir .cache
+    repro-router serve --port 8177 --workers 2 --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -307,7 +312,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, metavar="PATH",
         help="write the sweep rollup manifest JSON here",
     )
+    _add_cache_cap_args(batch)
+    batch.add_argument(
+        "--cache-stats", action="store_true",
+        help="print the result cache's occupancy and hit/miss counters "
+        "after the sweep",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the routing service (HTTP/JSON job server)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8177,
+        help="TCP port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (each runs on the batch engine)",
+    )
+    serve.add_argument(
+        "--no-isolation", action="store_true",
+        help="run untraced jobs inline instead of in a killable "
+        "subprocess (faster startup, no crash isolation)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (untraced jobs only)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts for a failed job",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=Path(".repro-cache"),
+        metavar="DIR",
+        help="content-addressed result cache (shared artifact store)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="run without a result cache (every job recomputes; no "
+        "queue checkpoint across restarts)",
+    )
+    serve.add_argument(
+        "--quota", type=float, default=0.0, metavar="TOKENS",
+        help="per-tenant token-bucket capacity (0 = quotas off)",
+    )
+    serve.add_argument(
+        "--quota-refill", type=float, default=1.0, metavar="PER_S",
+        help="token refill rate per second (with --quota)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help="reject submissions with 429 once this many jobs queue",
+    )
+    _add_cache_cap_args(serve)
     return parser
+
+
+def _add_cache_cap_args(parser) -> None:
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-used cache entries beyond N",
+    )
+    parser.add_argument(
+        "--cache-max-mb", type=float, default=None, metavar="MB",
+        help="evict least-recently-used cache entries beyond MB "
+        "megabytes",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -327,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare_runs(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -826,7 +903,7 @@ def _cmd_batch(args) -> int:
     if workers is None:
         workers = os.cpu_count() or 1
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache else _make_cache(args)
     if args.resume:
         checkpoint = (
             cache.root / "sweeps" / f"sweep-{sweep_id_of(jobs)}.json"
@@ -862,10 +939,83 @@ def _cmd_batch(args) -> int:
     print()
     print(sweep.summary())
     print(f"cache hits: {sweep.n_cached}/{len(jobs)}")
+    if args.cache_stats:
+        if cache is None:
+            print("cache stats: cache disabled (--no-cache)")
+        else:
+            print(_format_cache_stats(cache.stats()))
     if args.out is not None:
         reporter.rollup_manifest(sweep).write(args.out)
         print(f"wrote sweep rollup {args.out}")
     return 0 if sweep.all_ok else 1
+
+
+def _make_cache(args):
+    """A :class:`ResultCache` honoring the shared eviction-cap flags."""
+    from .exec import ResultCache
+
+    max_bytes = None
+    if args.cache_max_mb is not None:
+        max_bytes = int(args.cache_max_mb * 1024 * 1024)
+    return ResultCache(
+        args.cache_dir,
+        max_entries=args.cache_max_entries,
+        max_bytes=max_bytes,
+    )
+
+
+def _format_cache_stats(stats) -> str:
+    size_mb = stats["bytes"] / (1024 * 1024)
+    caps = []
+    if stats["max_entries"] is not None:
+        caps.append(f"max {stats['max_entries']} entries")
+    if stats["max_bytes"] is not None:
+        caps.append(f"max {stats['max_bytes'] / (1024 * 1024):.1f} MB")
+    cap_note = f" ({', '.join(caps)})" if caps else " (uncapped)"
+    return (
+        f"cache stats: {stats['entries']} entries, {size_mb:.2f} MB"
+        f"{cap_note}; this process: {stats['hits']} hit(s), "
+        f"{stats['misses']} miss(es), {stats['evictions']} "
+        f"eviction(s), {stats['corrupt']} quarantined"
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import RoutingService, ServiceConfig
+
+    cache = None if args.no_cache else _make_cache(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        isolation=not args.no_isolation,
+        job_timeout_s=args.timeout,
+        retries=args.retries,
+        quota_capacity=args.quota,
+        quota_refill_per_s=args.quota_refill,
+        max_queue_depth=args.max_queue_depth,
+    )
+    service = RoutingService(config, cache=cache)
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"routing service listening on "
+            f"http://{config.host}:{service.port} "
+            f"({config.workers} worker(s), cache "
+            f"{'off' if cache is None else cache.root})",
+            flush=True,
+        )
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("routing service stopped (queue checkpointed)", flush=True)
+    return 0
 
 
 if __name__ == "__main__":

@@ -5,7 +5,21 @@ digits of the 64-hex-digit cache key (so no directory ever holds more
 than a fraction of the entries).  Every entry is one complete JSON
 document written atomically (temp file + ``os.replace``), so concurrent
 workers — even workers killed mid-write — can never publish a truncated
-entry.  Corrupt or foreign files read as cache *misses*, never errors.
+entry.
+
+Corruption handling: a file that is not valid JSON (truncated by a
+filesystem fault, scribbled on by something else) is **quarantined** —
+renamed to ``<entry>.corrupt`` and reported via a ``cache_corrupt``
+trace event — so operators see it and the broken bytes never shadow a
+future recomputation.  A well-formed JSON file that simply is not one of
+ours (wrong schema or key) reads as a plain miss and is left alone.
+
+Long-lived owners (the routing service) can bound the store with
+``max_entries``/``max_bytes``: every :meth:`ResultCache.put` evicts the
+least-recently-used entries (file mtime, refreshed on every hit) until
+the store fits.  :meth:`ResultCache.stats` reports occupancy and the
+process-local hit/miss/eviction counters — surfaced by the service's
+``/stats`` endpoint and ``repro-router batch --cache-stats``.
 
 The key already encodes the code-version salt
 (:data:`~repro.exec.jobs.CODE_VERSION_SALT`), so stale results from an
@@ -16,25 +30,55 @@ older algorithm generation are simply never looked up again;
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..bench.runner import RunRecord
 from ..io.fsutil import atomic_write_text
 from ..io.json_report import run_record_from_dict, run_record_to_dict
+from ..obs.events import TraceSink, Tracer
 from .jobs import JobSpec
 
 PathLike = Union[str, Path]
 
 CACHE_SCHEMA = "repro-exec-cache/1"
 
+#: Suffix quarantined (malformed) entries are renamed to.
+CORRUPT_SUFFIX = ".corrupt"
+
 
 class ResultCache:
-    """Maps job cache keys to persisted :class:`RunRecord` payloads."""
+    """Maps job cache keys to persisted :class:`RunRecord` payloads.
 
-    def __init__(self, root: PathLike):
+    Args:
+        root: store directory (created as needed).
+        max_entries: evict down to this many entries on ``put``
+            (``None`` = unbounded).
+        max_bytes: evict until the entries' total size fits
+            (``None`` = unbounded).
+        tracer: optional :class:`~repro.obs.events.Tracer` or sink;
+            quarantines emit ``cache_corrupt`` events through it.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        tracer: Union[Tracer, TraceSink, None] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.tracer = Tracer.of(tracer)
+        # Process-local observability counters (see stats()).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -44,18 +88,36 @@ class ResultCache:
         return self.path_for(key).is_file()
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The raw entry payload, or ``None`` on miss/corruption."""
+        """The raw entry payload, or ``None`` on miss/corruption.
+
+        A hit refreshes the entry's mtime (its LRU recency stamp).
+        Unparseable files are quarantined, never silently skipped.
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            self._quarantine(key, path, f"malformed JSON: {exc}")
+            self.misses += 1
             return None
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA
             or payload.get("key") != key
         ):
+            # Well-formed but foreign: a plain miss, not ours to destroy.
+            self.misses += 1
             return None
+        self.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def get_record(self, key: str) -> Optional[RunRecord]:
@@ -69,17 +131,99 @@ class ResultCache:
             return None
 
     def put(self, key: str, spec: JobSpec, record: RunRecord) -> Path:
-        """Persist one result atomically and return its path."""
+        """Persist one result atomically and return its path.
+
+        When the store is size-capped, the least-recently-used entries
+        are evicted afterwards until it fits again.
+        """
         payload = {
             "schema": CACHE_SCHEMA,
             "key": key,
             "job": spec.describe(),
             "record": run_record_to_dict(record),
         }
-        return atomic_write_text(
+        path = atomic_write_text(
             self.path_for(key),
             json.dumps(payload, indent=2, sort_keys=True),
         )
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.evict()
+        return path
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Rename a broken entry aside and report it."""
+        try:
+            os.replace(path, path.with_name(path.name + CORRUPT_SUFFIX))
+        except OSError:
+            # Lost a rename race (another reader quarantined it first)
+            # or the file vanished; either way it no longer shadows.
+            return
+        self.corrupt += 1
+        self.tracer.emit(
+            "cache_corrupt", key=key, path=str(path), reason=reason
+        )
+
+    def _scan(self) -> List[Tuple[float, int, Path]]:
+        """Every entry as ``(mtime, size, path)`` (unsorted)."""
+        entries = []
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries until the caps are met;
+        returns how many were removed."""
+        entries = self._scan()
+        total_bytes = sum(size for _, size, _ in entries)
+        over_entries = (
+            self.max_entries is not None
+            and len(entries) > self.max_entries
+        )
+        over_bytes = (
+            self.max_bytes is not None and total_bytes > self.max_bytes
+        )
+        if not over_entries and not over_bytes:
+            return 0
+        entries.sort()  # oldest mtime first
+        removed = 0
+        while entries and (
+            (
+                self.max_entries is not None
+                and len(entries) > self.max_entries
+            )
+            or (
+                self.max_bytes is not None
+                and total_bytes > self.max_bytes
+            )
+        ):
+            _, size, path = entries.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total_bytes -= size
+            removed += 1
+        self.evictions += removed
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy plus this process's hit/miss/eviction counters."""
+        entries = self._scan()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
 
     # ------------------------------------------------------------------
     def invalidate(self, key: str) -> bool:

@@ -161,7 +161,12 @@ class JobSpec:
         }
 
 
-def execute_job(spec: JobSpec) -> RunRecord:
+def execute_job(
+    spec: JobSpec,
+    *,
+    trace_sink: Any = None,
+    decision_sampling: Optional[str] = None,
+) -> RunRecord:
     """Run one job to completion in the current process.
 
     This is the engine's default job runner: it materializes the
@@ -170,6 +175,12 @@ def execute_job(spec: JobSpec) -> RunRecord:
     routed chip geometry (the same fix-up
     :func:`repro.bench.runner.run_pair` applies, so batch records match
     serial ones bit for bit).
+
+    ``trace_sink``/``decision_sampling`` are forwarded to
+    :func:`~repro.bench.runner.run_dataset`, so a caller (the routing
+    service streaming events to a client, a test capturing a run) can
+    observe the run without changing what it computes — neither is part
+    of the cache key.
     """
     dataset_spec = spec.resolved_dataset()
     record, _result, report, dataset = run_dataset(
@@ -177,6 +188,8 @@ def execute_job(spec: JobSpec) -> RunRecord:
         spec.constrained,
         spec.technology,
         spec.resolved_config(),
+        trace_sink=trace_sink,
+        decision_sampling=decision_sampling,
     )
     if spec.constrained:
         record.lower_bound_ps = critical_path_lower_bound_ps(

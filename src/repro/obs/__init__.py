@@ -16,6 +16,7 @@ Everything defaults off: a router built without a sink runs against
 
 from .events import (
     EVENT_KINDS,
+    FanoutSink,
     JsonlTraceSink,
     MemorySink,
     NULL_SINK,
@@ -58,6 +59,7 @@ __all__ = [
     "DECISION_SAMPLING_DEFAULT",
     "DecisionPolicy",
     "EVENT_KINDS",
+    "FanoutSink",
     "Gauge",
     "Histogram",
     "JsonlTraceSink",

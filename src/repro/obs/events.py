@@ -54,6 +54,10 @@ schema):
     Per-constraint slack breakdown at run end: ``constraint``,
     ``limit_ps``, ``worst_delay_ps``, ``margin_ps``,
     ``source_offset_ps``, ``nets`` (critical-path contributions).
+``cache_corrupt``
+    A malformed result-cache entry was quarantined (renamed to
+    ``*.corrupt``) instead of being served: ``key``, ``path``,
+    ``reason``.
 
 Consumers must tolerate kinds they do not know (a newer producer):
 skip them, never raise.  :data:`TRACE_SCHEMA_VERSION` is carried in the
@@ -84,9 +88,10 @@ EVENT_KINDS = (
     "feed_cell_inserted",
     "pair_broken",
     "channel_routed",
+    "cache_corrupt",
 )
 
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 """Bumped whenever the event vocabulary grows.  Readers warn-and-skip
 unknown kinds rather than fail, so older tools keep working on newer
 traces."""
@@ -194,6 +199,59 @@ class MemorySink(TraceSink):
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+
+class FanoutSink(TraceSink):
+    """Broadcasts every event to a dynamic set of subscriber sinks.
+
+    The subscription surface the service layer streams through: one
+    producer (a router run) emits once, every currently subscribed sink
+    sees the event.  Subscribers may attach and detach while a run is in
+    flight, and emitters may live on a different thread than
+    subscribers, so the subscriber list is guarded by a lock and
+    snapshotted per emission.  A subscriber that raises is dropped (a
+    slow or dead consumer must never fail the producing run).
+    """
+
+    def __init__(self, *sinks: TraceSink):
+        import threading
+
+        self._lock = threading.Lock()
+        self._sinks: List[TraceSink] = [
+            sink for sink in sinks if getattr(sink, "enabled", True)
+        ]
+
+    def subscribe(self, sink: TraceSink) -> TraceSink:
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: TraceSink) -> bool:
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+                return True
+            except ValueError:
+                return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.emit(event)
+            except Exception:
+                self.unsubscribe(sink)
+
+    def close(self) -> None:
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            sink.close()
 
 
 class JsonlTraceSink(TraceSink):

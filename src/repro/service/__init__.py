@@ -1,0 +1,53 @@
+"""Routing-as-a-service: a long-lived async job server on the exec engine.
+
+The serving layer ROADMAP item 2 calls for: clients submit
+route/explain/compare jobs over HTTP/JSON, the server canonicalizes them
+into :class:`~repro.exec.jobs.JobSpec`s and executes them on the batch
+engine (:mod:`repro.exec`) with the content-addressed
+:class:`~repro.exec.cache.ResultCache` as a shared artifact store — an
+identical design+config submission is an instant cache hit.  Everything
+is stdlib: ``asyncio`` sockets, hand-rolled HTTP/1.1, NDJSON streaming.
+
+* :mod:`~repro.service.api` — request parsing/validation and the
+  job-key canonicalization (submission → specs → idempotency key);
+* :mod:`~repro.service.quotas` — per-tenant token buckets;
+* :mod:`~repro.service.queue` — the priority queue in front of the
+  worker pool, with checkpoint/restore across restarts;
+* :mod:`~repro.service.server` — :class:`RoutingService`, the asyncio
+  HTTP server (``repro-router serve`` is the CLI front-end);
+* :mod:`~repro.service.client` — a small stdlib client used by tests,
+  the CI smoke job, and docs.
+"""
+
+from .api import (
+    ApiError,
+    JOB_KINDS,
+    JobRequest,
+    build_specs,
+    job_key_of,
+    known_datasets,
+    parse_job_request,
+)
+from .client import ServiceClient, ServiceError
+from .queue import PriorityJobQueue, load_queue_checkpoint
+from .quotas import QuotaManager, TokenBucket
+from .server import RoutingService, ServiceConfig, ServiceThread
+
+__all__ = [
+    "ApiError",
+    "JOB_KINDS",
+    "JobRequest",
+    "PriorityJobQueue",
+    "QuotaManager",
+    "RoutingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "TokenBucket",
+    "build_specs",
+    "job_key_of",
+    "known_datasets",
+    "load_queue_checkpoint",
+    "parse_job_request",
+]

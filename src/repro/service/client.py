@@ -1,0 +1,158 @@
+"""A small stdlib client for the routing service.
+
+Wraps ``http.client`` (keeping the no-new-dependencies rule) with the
+five things a caller actually does: submit a job, poll its status,
+fetch its result, stream its events, and read ``/healthz`` / ``/stats``.
+Used by the tests, the CI smoke script, and the docs walkthrough;
+equally usable from any Python that can reach the server.
+
+    client = ServiceClient("http://127.0.0.1:8177")
+    job = client.submit({"kind": "route", "dataset": "C1P1"})
+    done = client.wait(job["id"])
+    record = client.result(job["id"])["result"]["record"]
+
+Errors surface as :class:`ServiceError` carrying the HTTP status, the
+server's error message, and (for 429s) the ``retry_after_s`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """One service endpoint; each call opens one short-lived connection
+    (the server speaks ``Connection: close``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(
+                f"only http:// endpoints supported (got {base_url!r})"
+            )
+        netloc = parsed.netloc or parsed.path
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        ok: tuple = (200,),
+    ) -> Dict[str, Any]:
+        conn = self._connect()
+        try:
+            body = headers = None
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8") or "null")
+            if response.status not in ok:
+                raise ServiceError(
+                    response.status,
+                    (data or {}).get("error", "unexpected response"),
+                    retry_after_s=(data or {}).get("retry_after_s"),
+                )
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``; returns the job status object.  ``202``
+        means enqueued, ``200`` means coalesced or already complete."""
+        return self._request("POST", "/jobs", payload, ok=(200, 202))
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/{id}`` — current status."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/{id}/result``.  Raises :class:`ServiceError`
+        with status 202 while the job is still pending."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """``GET /jobs/{id}/events`` — yield each NDJSON event dict.
+
+        Replays the buffered prefix, then follows live events until the
+        job finishes and the server closes the stream.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                data = json.loads(
+                    response.read().decode("utf-8") or "null"
+                )
+                raise ServiceError(
+                    response.status,
+                    (data or {}).get("error", "unexpected response"),
+                )
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final status object.  Raises ``TimeoutError`` past the budget
+        (the job keeps running server-side)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']!r} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,118 @@
+"""The priority queue in front of the worker pool, with checkpointing.
+
+An asyncio-native bounded priority queue: higher ``priority`` first,
+FIFO within a priority (a monotone sequence number breaks ties, so two
+equal-priority jobs never compare the payload objects).  ``close()``
+flips the queue into drain mode — waiting getters wake up and receive
+``None`` immediately, and whatever is still queued stays queued for
+:meth:`PriorityJobQueue.snapshot`, which the server's graceful shutdown
+serializes to disk and the next start re-enqueues.
+
+The queue stores opaque items plus their priority; the server puts its
+job objects in.  Checkpoint serialization works on submission payloads
+(the JSON a client originally sent), because those round-trip through
+:func:`~repro.service.api.parse_job_request` on restore — re-validated
+against the *current* code, never blindly trusted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..io.fsutil import atomic_write_text
+
+PathLike = Union[str, Path]
+
+QUEUE_CHECKPOINT_SCHEMA = "repro-service-queue/1"
+
+
+class PriorityJobQueue:
+    """Higher-priority-first queue for one event loop."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    async def put(self, item: Any, priority: int = 0) -> None:
+        if self._closed:
+            raise RuntimeError("queue is closed")
+        async with self._cond:
+            heappush(self._heap, (-priority, next(self._seq), item))
+            self._cond.notify()
+
+    async def get(self) -> Optional[Any]:
+        """The next item, or ``None`` once the queue is closed.
+
+        A closed queue returns ``None`` even while items remain — drain
+        semantics: shutdown checkpoints the backlog instead of racing
+        the workers for it.
+        """
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if self._closed:
+                return None
+            return heappop(self._heap)[2]
+
+    async def close(self) -> None:
+        """Stop handing out items and wake every waiting getter."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def snapshot(self) -> List[Any]:
+        """Still-queued items in pop order (does not consume them)."""
+        return [item for _, _, item in sorted(self._heap)]
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+def write_queue_checkpoint(
+    path: PathLike, payloads: List[Dict[str, Any]]
+) -> Path:
+    """Persist the still-queued submissions atomically."""
+    return atomic_write_text(
+        Path(path),
+        json.dumps(
+            {
+                "schema": QUEUE_CHECKPOINT_SCHEMA,
+                "jobs": payloads,
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )
+
+
+def load_queue_checkpoint(path: PathLike) -> List[Dict[str, Any]]:
+    """Submissions from a prior checkpoint (``[]`` when absent or
+    unreadable — a broken checkpoint must not prevent startup)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return []
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != QUEUE_CHECKPOINT_SCHEMA
+        or not isinstance(payload.get("jobs"), list)
+    ):
+        return []
+    return [job for job in payload["jobs"] if isinstance(job, dict)]

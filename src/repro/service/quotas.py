@@ -1,0 +1,103 @@
+"""Per-tenant admission control: classic token buckets.
+
+Each tenant owns a bucket of ``capacity`` tokens refilled continuously
+at ``refill_per_s``.  A submission takes one token; an empty bucket
+rejects with the seconds until a token is available again — the number
+the server returns as the HTTP 429 ``Retry-After`` hint.
+
+``capacity <= 0`` disables quotas (every submission admitted), which is
+the server default: quotas are an operator opt-in.  The clock is
+injectable so tests run on virtual time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Tuple
+
+
+class TokenBucket:
+    """One tenant's refilling budget."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if refill_per_s <= 0.0:
+            raise ValueError("refill_per_s must be > 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            self.capacity, self._tokens + elapsed * self.refill_per_s
+        )
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, amount: float = 1.0) -> Tuple[bool, float]:
+        """``(granted, retry_after_s)`` — ``retry_after_s`` is 0 when
+        granted, else the wait until ``amount`` tokens exist."""
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True, 0.0
+        deficit = amount - self._tokens
+        return False, deficit / self.refill_per_s
+
+
+class QuotaManager:
+    """Token buckets created on demand, one per tenant."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0.0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.capacity, self.refill_per_s, self._clock
+            )
+        return bucket
+
+    def admit(self, tenant: str) -> Tuple[bool, float]:
+        """Charge one submission to ``tenant``; ``(admitted,
+        retry_after_s)`` with ``retry_after_s`` rounded up to whole
+        seconds (never 0 on a rejection, so the HTTP hint is usable)."""
+        if not self.enabled:
+            return True, 0.0
+        granted, retry_after = self.bucket(tenant).try_acquire()
+        if granted:
+            return True, 0.0
+        return False, max(1.0, math.ceil(retry_after))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current token balance per known tenant (for ``/stats``)."""
+        return {
+            tenant: round(bucket.tokens, 3)
+            for tenant, bucket in sorted(self._buckets.items())
+        }

@@ -1,12 +1,16 @@
 """Tests for repro.exec.cache: the on-disk content-addressed store."""
 
 import json
+import multiprocessing
+import os
 
 from repro.bench.circuits import CircuitSpec, DatasetSpec
 from repro.bench.runner import RunRecord
 from repro.exec import CACHE_SCHEMA, JobSpec, ResultCache
+from repro.exec.cache import CORRUPT_SUFFIX
 from repro.io.json_report import run_record_from_dict, run_record_to_dict
 from repro.layout.placer import FeedStyle
+from repro.obs import MemorySink
 
 
 def tiny_job(name="CCH", seed=1):
@@ -131,3 +135,168 @@ class TestResultCache:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+
+def _put_entries(cache, seeds, *, base_mtime=1_000_000.0):
+    """Store one entry per seed with deterministic, strictly increasing
+    mtimes (seed order = recency order), bypassing clock granularity."""
+    jobs = {}
+    for offset, seed in enumerate(seeds):
+        job = tiny_job(seed=seed)
+        path = cache.put(job.cache_key(), job, fake_record())
+        stamp = base_mtime + offset
+        os.utime(path, (stamp, stamp))
+        jobs[seed] = job
+    return jobs
+
+
+class TestCacheEviction:
+    def test_max_entries_drops_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        jobs = _put_entries(cache, (1, 2, 3))
+        # put() evicts after each write; the two newest survive.
+        assert len(cache) == 2
+        assert not cache.contains(jobs[1].cache_key())
+        assert cache.contains(jobs[2].cache_key())
+        assert cache.contains(jobs[3].cache_key())
+        assert cache.evictions >= 1
+
+    def test_max_bytes_evicts_until_fit(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        job = tiny_job(seed=1)
+        entry_size = probe.put(
+            job.cache_key(), job, fake_record()
+        ).stat().st_size
+        # Room for two entries but not three.
+        cache = ResultCache(
+            tmp_path / "capped", max_bytes=int(entry_size * 2.5)
+        )
+        _put_entries(cache, (1, 2, 3))
+        assert len(cache) == 2
+        assert cache.stats()["bytes"] <= int(entry_size * 2.5)
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        jobs = _put_entries(cache, (1, 2))
+        # Touch the older entry, then overflow: the untouched one goes.
+        assert cache.get(jobs[1].cache_key()) is not None
+        newest = tiny_job(seed=3)
+        cache.put(newest.cache_key(), newest, fake_record())
+        assert cache.contains(jobs[1].cache_key())
+        assert not cache.contains(jobs[2].cache_key())
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _put_entries(cache, range(5))
+        assert len(cache) == 5
+        assert cache.evict() == 0
+
+    def test_stats_reports_occupancy_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=10)
+        job = tiny_job()
+        cache.get(job.cache_key())  # miss
+        cache.put(job.cache_key(), job, fake_record())
+        cache.get(job.cache_key())  # hit
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["max_entries"] == 10
+        assert stats["max_bytes"] is None
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["corrupt"] == 0
+
+
+class TestCacheQuarantine:
+    def test_malformed_entry_quarantined_and_reported(self, tmp_path):
+        sink = MemorySink()
+        cache = ResultCache(tmp_path, tracer=sink)
+        job = tiny_job()
+        key = job.cache_key()
+        path = cache.put(key, job, fake_record())
+        path.write_text('{"torn')
+        assert cache.get(key) is None
+        # The broken bytes moved aside; the slot no longer shadows.
+        assert not path.exists()
+        quarantined = path.with_name(path.name + CORRUPT_SUFFIX)
+        assert quarantined.is_file()
+        assert quarantined.read_text() == '{"torn'
+        assert cache.corrupt == 1
+        events = [e for e in sink.events if e.kind == "cache_corrupt"]
+        assert len(events) == 1
+        assert events[0].data["key"] == key
+        assert "malformed JSON" in events[0].data["reason"]
+
+    def test_quarantined_slot_accepts_recomputation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_job()
+        key = job.cache_key()
+        cache.put(key, job, fake_record()).write_text("not json")
+        assert cache.get(key) is None
+        cache.put(key, job, fake_record(delay=321.0))
+        loaded = cache.get_record(key)
+        assert loaded is not None and loaded.delay_ps == 321.0
+
+    def test_foreign_json_left_alone(self, tmp_path):
+        # Well-formed but not ours: a miss, never quarantined.
+        cache = ResultCache(tmp_path)
+        key = tiny_job().cache_key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": "other/1", "key": key}))
+        assert cache.get(key) is None
+        assert path.is_file()
+        assert cache.corrupt == 0
+
+    def test_quarantine_excluded_from_scan(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=10)
+        job = tiny_job()
+        cache.put(job.cache_key(), job, fake_record()).write_text("x")
+        assert cache.get(job.cache_key()) is None
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert len(cache) == 0
+
+
+# Module-level so the spawned workers can pickle them.
+def _worker_put_get(root, seed, n_rounds, results, index):
+    cache = ResultCache(root)
+    job = tiny_job(seed=seed)
+    key = job.cache_key()
+    ok = True
+    for round_no in range(n_rounds):
+        cache.put(key, job, fake_record(delay=100.0 + round_no))
+        loaded = cache.get_record(key)
+        # Another process may be mid-put, but a reader must only ever
+        # see a complete entry for the right dataset — never a torn one.
+        if loaded is None or loaded.dataset != job.dataset.name:
+            ok = False
+    results[index] = ok
+
+
+class TestCacheConcurrency:
+    def test_two_processes_hammer_same_key(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Manager() as manager:
+            results = manager.dict()
+            workers = [
+                ctx.Process(
+                    target=_worker_put_get,
+                    args=(str(tmp_path), 7, 25, results, i),
+                )
+                for i in range(2)
+            ]
+            for process in workers:
+                process.start()
+            for process in workers:
+                process.join(timeout=120)
+                assert process.exitcode == 0
+            assert dict(results) == {0: True, 1: True}
+        # Atomic replace leaves no temp files and exactly one entry.
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 1
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []

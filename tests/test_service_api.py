@@ -1,0 +1,132 @@
+"""Tests for repro.service.api: submission parsing and job identity."""
+
+import pytest
+
+from repro.service import (
+    ApiError,
+    JobRequest,
+    build_specs,
+    job_key_of,
+    known_datasets,
+    parse_job_request,
+)
+
+
+def parse(**fields):
+    payload = {"kind": "route", "dataset": "S1P1"}
+    payload.update(fields)
+    return parse_job_request(payload)
+
+
+class TestParseJobRequest:
+    def test_minimal_route_gets_defaults(self):
+        request = parse()
+        assert request == JobRequest(kind="route", dataset="S1P1")
+        assert request.constrained is True
+        assert request.tenant == "default"
+        assert request.priority == 0
+        assert not request.traced
+
+    def test_all_fields_round_trip_through_payload(self):
+        request = parse(
+            kind="compare", constrained=False, seed=7,
+            trace=True, tenant="ci", priority=3,
+        )
+        assert parse_job_request(request.to_payload()) == request
+
+    def test_explain_always_traced(self):
+        assert parse(kind="explain").traced
+        assert parse(trace=True).traced
+        assert not parse().traced
+
+    def test_non_object_rejected(self):
+        for payload in (None, "route", 17, ["route"]):
+            with pytest.raises(ApiError):
+                parse_job_request(payload)
+
+    def test_unknown_field_rejected(self):
+        # A typo must never silently change what gets routed.
+        with pytest.raises(ApiError, match="unknown field.*datset"):
+            parse(datset="S1P1")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ApiError, match="kind must be one of"):
+            parse(kind="routeee")
+
+    def test_unknown_dataset_is_404(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse(dataset="NOPE")
+        assert excinfo.value.status == 404
+
+    def test_bad_field_types_rejected(self):
+        for fields in (
+            {"constrained": 1},
+            {"seed": "7"},
+            {"seed": True},          # bool is not an integer seed
+            {"trace": "yes"},
+            {"tenant": ""},
+            {"priority": 1.5},
+            {"priority": False},
+        ):
+            with pytest.raises(ApiError):
+                parse(**fields)
+
+    def test_validation_errors_default_to_400(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse(kind="bogus")
+        assert excinfo.value.status == 400
+
+
+class TestKnownDatasets:
+    def test_both_suites_present(self):
+        names = set(known_datasets())
+        assert {"C1P1", "C3P1", "S1P1", "S2P1"} <= names
+
+
+class TestBuildSpecs:
+    def test_route_builds_one_spec(self):
+        specs = build_specs(parse(constrained=False, seed=3))
+        assert len(specs) == 1
+        assert specs[0].constrained is False
+        assert specs[0].seed == 3
+
+    def test_compare_builds_both_modes(self):
+        specs = build_specs(parse(kind="compare"))
+        assert [s.constrained for s in specs] == [True, False]
+        assert len({s.cache_key() for s in specs}) == 2
+
+
+class TestJobKey:
+    def test_route_key_is_the_spec_cache_key(self):
+        # Service idempotency and the result cache must agree on what
+        # "the same job" means.
+        request = parse()
+        specs = build_specs(request)
+        assert job_key_of(request, specs) == specs[0].cache_key()
+
+    def test_delivery_fields_do_not_change_identity(self):
+        base = parse()
+        for variant in (
+            parse(trace=True),
+            parse(tenant="other"),
+            parse(priority=5),
+        ):
+            assert job_key_of(variant, build_specs(variant)) == \
+                job_key_of(base, build_specs(base))
+
+    def test_kinds_produce_distinct_keys(self):
+        keys = set()
+        for kind in ("route", "explain", "compare"):
+            request = parse(kind=kind)
+            keys.add(job_key_of(request, build_specs(request)))
+        assert len(keys) == 3
+
+    def test_result_shaping_fields_change_identity(self):
+        base = parse()
+        for variant in (
+            parse(dataset="S1P2"),
+            parse(constrained=False),
+            parse(seed=11),
+        ):
+            assert job_key_of(variant, build_specs(variant)) != \
+                job_key_of(base, build_specs(base))

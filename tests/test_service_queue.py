@@ -1,0 +1,198 @@
+"""Tests for repro.service.queue and repro.service.quotas."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import PriorityJobQueue, QuotaManager, TokenBucket
+from repro.service.queue import (
+    QUEUE_CHECKPOINT_SCHEMA,
+    load_queue_checkpoint,
+    write_queue_checkpoint,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPriorityJobQueue:
+    def test_higher_priority_pops_first(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            await queue.put("low", priority=0)
+            await queue.put("high", priority=5)
+            await queue.put("mid", priority=2)
+            return [await queue.get() for _ in range(3)]
+
+        assert run(scenario()) == ["high", "mid", "low"]
+
+    def test_fifo_within_a_priority(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            for name in ("a", "b", "c"):
+                await queue.put(name, priority=1)
+            return [await queue.get() for _ in range(3)]
+
+        assert run(scenario()) == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                await queue.put("late")
+
+            feeder = asyncio.ensure_future(feed())
+            item = await queue.get()
+            await feeder
+            return item
+
+        assert run(scenario()) == "late"
+
+    def test_close_wakes_getters_with_none(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0.01)
+            await queue.close()
+            return await asyncio.wait_for(getter, timeout=5.0)
+
+        assert run(scenario()) is None
+
+    def test_closed_queue_keeps_backlog_for_snapshot(self):
+        # Drain semantics: shutdown checkpoints the backlog instead of
+        # racing the workers for it.
+        async def scenario():
+            queue = PriorityJobQueue()
+            await queue.put("keep-b", priority=0)
+            await queue.put("keep-a", priority=9)
+            await queue.close()
+            popped = await queue.get()
+            return popped, queue.snapshot(), queue.depth()
+
+        popped, snapshot, depth = run(scenario())
+        assert popped is None
+        assert snapshot == ["keep-a", "keep-b"]  # pop order
+        assert depth == 2
+
+    def test_put_after_close_raises(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            await queue.close()
+            with pytest.raises(RuntimeError):
+                await queue.put("x")
+
+        run(scenario())
+
+
+class TestQueueCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "svc" / "queue.json"
+        payloads = [
+            {"kind": "route", "dataset": "S1P1"},
+            {"kind": "compare", "dataset": "S2P1", "priority": 2},
+        ]
+        write_queue_checkpoint(path, payloads)
+        assert load_queue_checkpoint(path) == payloads
+        document = json.loads(path.read_text())
+        assert document["schema"] == QUEUE_CHECKPOINT_SCHEMA
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_queue_checkpoint(tmp_path / "absent.json") == []
+
+    def test_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "queue.json"
+        path.write_text("{torn")
+        assert load_queue_checkpoint(path) == []
+
+    def test_foreign_schema_is_empty(self, tmp_path):
+        path = tmp_path / "queue.json"
+        path.write_text(json.dumps({"schema": "other/9", "jobs": [{}]}))
+        assert load_queue_checkpoint(path) == []
+
+    def test_non_dict_jobs_dropped(self, tmp_path):
+        path = tmp_path / "queue.json"
+        path.write_text(json.dumps({
+            "schema": QUEUE_CHECKPOINT_SCHEMA,
+            "jobs": [{"kind": "route"}, "junk", 3],
+        }))
+        assert load_queue_checkpoint(path) == [{"kind": "route"}]
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_depletes(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 1.0, clock=clock)
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire() == (True, 0.0)
+        granted, retry_after = bucket.try_acquire()
+        assert not granted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refills_over_time_up_to_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 0.5, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(2.0)  # 1 token back at 0.5/s
+        assert bucket.try_acquire() == (True, 0.0)
+        assert not bucket.try_acquire()[0]
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(2.0)  # capped
+
+    def test_retry_after_scales_with_refill_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, 0.25, clock=clock)
+        bucket.try_acquire()
+        _, retry_after = bucket.try_acquire()
+        assert retry_after == pytest.approx(4.0)
+
+    def test_zero_refill_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.0)
+
+
+class TestQuotaManager:
+    def test_disabled_by_default_capacity(self):
+        quotas = QuotaManager(0.0, 1.0)
+        assert not quotas.enabled
+        for _ in range(100):
+            assert quotas.admit("anyone") == (True, 0.0)
+        assert quotas.snapshot() == {}
+
+    def test_tenants_have_independent_buckets(self):
+        clock = FakeClock()
+        quotas = QuotaManager(1.0, 1.0, clock=clock)
+        assert quotas.admit("alpha")[0]
+        assert not quotas.admit("alpha")[0]
+        assert quotas.admit("beta")[0]  # unaffected by alpha's spend
+
+    def test_rejection_retry_after_is_whole_seconds(self):
+        clock = FakeClock()
+        quotas = QuotaManager(1.0, 10.0, clock=clock)
+        quotas.admit("t")
+        admitted, retry_after = quotas.admit("t")
+        assert not admitted
+        # Real wait is 0.1s; the HTTP hint rounds up to a usable 1s.
+        assert retry_after == 1.0
+
+    def test_snapshot_reports_balances(self):
+        clock = FakeClock()
+        quotas = QuotaManager(3.0, 1.0, clock=clock)
+        quotas.admit("ci")
+        quotas.admit("ci")
+        assert quotas.snapshot() == {"ci": 1.0}
