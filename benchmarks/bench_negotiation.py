@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Negotiated-congestion engine benchmark: quality vs edge-deletion.
+
+Routes each design twice — ``routing_engine="edge-deletion"`` (the
+paper's one-shot greedy deletion flow) and ``"negotiated"``
+(PathFinder-style iterative rip-up-and-reroute) — and reports the
+negotiated engine's quality *relative to the baseline*: routed delay
+and wire area deltas, timing-violation deltas, convergence iterations,
+and wall clock.
+
+Modes::
+
+    python benchmarks/bench_negotiation.py --smoke   # CI gate designs
+    python benchmarks/bench_negotiation.py           # full line-up
+
+Both modes gate, per design:
+
+* negotiated delay and area within ``MAX_QUALITY_PCT`` of edge-deletion
+  (the acceptance bar on C3P1 rides on this);
+* violation delta within the design's allowance — 0 by default,
+  ``-1`` on the congestion-adversarial CGP1 (negotiation must *win*
+  there), ``+1`` on C1P2 (a known, accepted regression on one design);
+* the negotiated run converged: zero overused columns.
+
+``--json`` writes a ``repro-bench-negotiation/1`` snapshot for
+``repro-router compare-runs`` drift detection; ``--manifests DIR``
+additionally writes full run manifests of both engines on the largest
+design for an engine-vs-engine manifest diff
+(``--no-require-identical-deletions``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.run_diff import BENCH_NEGOTIATION_SCHEMA
+from repro.bench.circuits import congestion_suite, standard_suite
+from repro.bench.runner import run_dataset
+from repro.core.config import RouterConfig
+from repro.obs import PhaseProfiler, build_run_manifest
+
+LARGEST = "C3P1"
+SMOKE_DESIGNS = ("C1P1", LARGEST)
+MAX_QUALITY_PCT = 5.0
+
+#: Per-design timing-violation allowance (negotiated minus edge
+#: deletion).  CGP1 is the committed congestion-adversarial scenario:
+#: negotiation must end with strictly fewer violations.  C1P2 is a
+#: known +1 on one accepted design; everywhere else parity is required.
+VIOLATION_ALLOWANCE = {"CGP1": -1, "C1P2": 1}
+
+
+def route_once(spec, engine):
+    """Route one design under one engine; returns comparable data."""
+    config = RouterConfig(routing_engine=engine)
+    start = time.perf_counter()
+    record, result, report, _dataset = run_dataset(
+        spec, constrained=True, config=config
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "delay_ps": report.critical_delay_ps,
+        "area_mm2": report.area_mm2,
+        "length_mm": report.total_length_mm,
+        "violations": record.violations,
+        "metrics": record.metrics,
+    }
+
+
+def pct(base, value):
+    return 100.0 * (value - base) / base if base else 0.0
+
+
+def compare_design(spec):
+    edge = route_once(spec, "edge-deletion")
+    neg = route_once(spec, "negotiated")
+    allowance = VIOLATION_ALLOWANCE.get(spec.name, 0)
+    row = {
+        "delay_pct_vs_edge": round(pct(edge["delay_ps"], neg["delay_ps"]), 3),
+        "area_pct_vs_edge": round(pct(edge["area_mm2"], neg["area_mm2"]), 3),
+        "length_pct_vs_edge": round(
+            pct(edge["length_mm"], neg["length_mm"]), 3
+        ),
+        "violations_edge": edge["violations"],
+        "violations_negotiated": neg["violations"],
+        "violations_delta": neg["violations"] - edge["violations"],
+        "violations_allowance": allowance,
+        "overused_columns": int(
+            neg["metrics"].get("negotiate.overused_columns", -1)
+        ),
+        "iterations": int(neg["metrics"].get("negotiate.iterations", 0)),
+        "cap_relaxations": int(
+            neg["metrics"].get("negotiate.cap_relaxations", 0)
+        ),
+        "wall_s_edge": round(edge["wall_s"], 4),
+        "wall_s_negotiated": round(neg["wall_s"], 4),
+    }
+    failures = []
+    if row["delay_pct_vs_edge"] > MAX_QUALITY_PCT:
+        failures.append(
+            f"{spec.name}: negotiated delay {row['delay_pct_vs_edge']:+.2f}% "
+            f"vs edge-deletion (limit {MAX_QUALITY_PCT:+.1f}%)"
+        )
+    if row["area_pct_vs_edge"] > MAX_QUALITY_PCT:
+        failures.append(
+            f"{spec.name}: negotiated area {row['area_pct_vs_edge']:+.2f}% "
+            f"vs edge-deletion (limit {MAX_QUALITY_PCT:+.1f}%)"
+        )
+    if row["violations_delta"] > allowance:
+        failures.append(
+            f"{spec.name}: violation delta {row['violations_delta']:+d} "
+            f"exceeds allowance {allowance:+d}"
+        )
+    if row["overused_columns"] != 0:
+        failures.append(
+            f"{spec.name}: negotiated run did not converge "
+            f"({row['overused_columns']} overused columns)"
+        )
+    return row, failures
+
+
+def report_line(name, row):
+    return (
+        f"{name:6s} delay {row['delay_pct_vs_edge']:+6.2f}%  "
+        f"area {row['area_pct_vs_edge']:+6.2f}%  "
+        f"viol {row['violations_edge']:2d} -> "
+        f"{row['violations_negotiated']:2d} "
+        f"(allow {row['violations_allowance']:+d})  "
+        f"iters {row['iterations']:2d}  "
+        f"wall {row['wall_s_edge']:6.2f}s -> {row['wall_s_negotiated']:6.2f}s"
+    )
+
+
+def write_manifests(out_dir: Path) -> None:
+    """Both engines' run manifests on the largest design, for the
+    engine-vs-engine ``compare-runs --no-require-identical-deletions``
+    diff CI performs."""
+    spec = next(s for s in standard_suite() if s.name == LARGEST)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for engine in ("edge-deletion", "negotiated"):
+        profiler = PhaseProfiler()
+        record, result, _report, dataset = run_dataset(
+            spec,
+            constrained=True,
+            config=RouterConfig(routing_engine=engine),
+            profiler=profiler,
+        )
+        manifest = build_run_manifest(
+            config=None,
+            dataset={"name": spec.name, **dataset.stats()},
+            result=result,
+            metrics=record.metrics,
+            profiler=profiler,
+        )
+        path = out_dir / f"{LARGEST}.{engine}.manifest.json"
+        manifest.write(path)
+        print(f"wrote {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="gate designs only (C1P1, C3P1, CGP1); same per-design gates",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable snapshot (diff two with "
+        "'repro-router compare-runs')",
+    )
+    parser.add_argument(
+        "--manifests",
+        metavar="DIR",
+        type=Path,
+        default=None,
+        help=f"also write both engines' {LARGEST} run manifests to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    suite = standard_suite() + congestion_suite()
+    if args.smoke:
+        suite = [
+            s for s in suite
+            if s.name in SMOKE_DESIGNS or s.name in VIOLATION_ALLOWANCE
+        ]
+    failures = []
+    designs = {}
+    print(
+        "negotiation bench "
+        f"({'smoke' if args.smoke else 'full'}: "
+        f"{', '.join(s.name for s in suite)})"
+    )
+    for spec in suite:
+        row, design_failures = compare_design(spec)
+        failures.extend(design_failures)
+        designs[spec.name] = row
+        print(report_line(spec.name, row))
+
+    if args.json is not None:
+        snapshot = {
+            "schema": BENCH_NEGOTIATION_SCHEMA,
+            "suite": "smoke" if args.smoke else "full",
+            "designs": designs,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.manifests is not None:
+        write_manifests(args.manifests)
+
+    if failures:
+        print("FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: negotiated engine within quality gates on every design")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

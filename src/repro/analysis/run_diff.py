@@ -26,6 +26,7 @@ from ..obs.manifest import MANIFEST_SCHEMA
 
 BENCH_SELECTION_SCHEMA = "repro-bench-selection/1"
 BENCH_TREE_SCHEMA = "repro-bench-tree/1"
+BENCH_NEGOTIATION_SCHEMA = "repro-bench-negotiation/1"
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,11 @@ class DiffThresholds:
     max_violations_delta: Optional[int] = 0    # new timing violations
     max_wall_pct: Optional[float] = None       # per-phase wall growth
     max_evals_pct: Optional[float] = 25.0      # bench: key-evals/deletion
+    # Engine-comparison mode: False when diffing runs produced by
+    # different routing engines, whose deletion counts/sequences
+    # legitimately diverge — the deletion-stream comparison is skipped
+    # and only quality deltas are judged.
+    require_identical_deletions: bool = True
 
 
 @dataclass
@@ -136,10 +142,12 @@ def classify_input(payload: Dict[str, Any]) -> str:
         return "bench"
     if schema == BENCH_TREE_SCHEMA:
         return "bench-tree"
+    if schema == BENCH_NEGOTIATION_SCHEMA:
+        return "bench-negotiation"
     raise ValueError(
         f"unsupported input schema {schema!r} (expected "
-        f"{MANIFEST_SCHEMA!r}, {BENCH_SELECTION_SCHEMA!r} or "
-        f"{BENCH_TREE_SCHEMA!r})"
+        f"{MANIFEST_SCHEMA!r}, {BENCH_SELECTION_SCHEMA!r}, "
+        f"{BENCH_TREE_SCHEMA!r} or {BENCH_NEGOTIATION_SCHEMA!r})"
     )
 
 
@@ -346,8 +354,22 @@ def diff_traces(
     new_events: Sequence,
     thresholds: DiffThresholds = DiffThresholds(),
 ) -> None:
-    """Fold trace-level comparisons into an existing manifest diff."""
-    diff.divergence = deletion_divergence(old_events, new_events)
+    """Fold trace-level comparisons into an existing manifest diff.
+
+    With ``thresholds.require_identical_deletions`` False (engine
+    comparison), the deletion-stream comparison is skipped entirely —
+    different engines legitimately delete different edges in a
+    different order — and only the per-channel density gates run.
+    """
+    if thresholds.require_identical_deletions:
+        diff.divergence = deletion_divergence(old_events, new_events)
+    else:
+        diff.lines.append(
+            DiffLine(
+                "deletion_sequence", "-", "-",
+                note="skipped: engine comparison",
+            )
+        )
     old_stats = _final_channel_stats(old_events)
     new_stats = _final_channel_stats(new_events)
     for channel in sorted(set(old_stats) & set(new_stats)):
@@ -454,6 +476,111 @@ def diff_bench_tree(
     return diff
 
 
+def _gate_ceiling(
+    diff: RunDiff,
+    name: str,
+    old: Optional[float],
+    new: Optional[float],
+    ceiling: Optional[float],
+) -> None:
+    """Add an absolute-ceiling-gated line (``new > ceiling`` fails).
+
+    Unlike :func:`_gate_pct` the *value itself* is the quantity under
+    test (already a percentage or count relative to a baseline), so the
+    gate is on its magnitude, not on its growth since the snapshot.
+    """
+    if new is None:
+        return
+    new = float(new)
+    line = DiffLine(
+        name,
+        float(old) if old is not None else None,
+        new,
+        delta=new - float(old) if old is not None else None,
+    )
+    if ceiling is not None and new > ceiling:
+        line.failed = True
+        diff.failures.append(
+            f"{name} is {new:+.3f} (ceiling {ceiling:+.3f})"
+        )
+    elif ceiling is None:
+        line.note = "report-only"
+    diff.lines.append(line)
+
+
+def diff_bench_negotiation(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> RunDiff:
+    """Compare two ``BENCH_negotiation.json`` snapshots.
+
+    Each row carries the negotiated engine's quality *relative to
+    edge-deletion on the same design* (percent deltas and violation
+    deltas), so the gates are ceilings on the fresh values, not growth
+    since the snapshot: routed delay and wire area must stay within
+    ``max_delay_pct``/``max_length_pct`` of edge-deletion, the engine
+    must not add more than ``max_violations_delta`` violations, and
+    every run must converge to zero overused columns.  Iteration counts
+    and wall clocks are report-only.
+    """
+    diff = RunDiff(kind="bench-negotiation")
+    old_designs = old.get("designs", {})
+    new_designs = new.get("designs", {})
+    for design in sorted(set(old_designs) & set(new_designs)):
+        old_row = old_designs[design]
+        new_row = new_designs[design]
+        _gate_ceiling(
+            diff, f"{design}.delay_pct_vs_edge",
+            old_row.get("delay_pct_vs_edge"),
+            new_row.get("delay_pct_vs_edge"),
+            thresholds.max_delay_pct,
+        )
+        _gate_ceiling(
+            diff, f"{design}.area_pct_vs_edge",
+            old_row.get("area_pct_vs_edge"),
+            new_row.get("area_pct_vs_edge"),
+            thresholds.max_length_pct,
+        )
+        _gate_ceiling(
+            diff, f"{design}.violations_delta",
+            old_row.get("violations_delta"),
+            new_row.get("violations_delta"),
+            (
+                float(new_row["violations_allowance"])
+                if new_row.get("violations_allowance") is not None
+                else (
+                    float(thresholds.max_violations_delta)
+                    if thresholds.max_violations_delta is not None
+                    else None
+                )
+            ),
+        )
+        _gate_ceiling(
+            diff, f"{design}.overused_columns",
+            old_row.get("overused_columns"),
+            new_row.get("overused_columns"),
+            0.0,
+        )
+        _gate_delta(
+            diff, f"{design}.iterations",
+            old_row.get("iterations"), new_row.get("iterations"),
+            None,
+        )
+        _gate_pct(
+            diff, f"{design}.wall_s_negotiated",
+            old_row.get("wall_s_negotiated"),
+            new_row.get("wall_s_negotiated"),
+            thresholds.max_wall_pct,
+        )
+    missing = sorted(set(old_designs) - set(new_designs))
+    if missing:
+        diff.failures.append(
+            f"designs missing from new snapshot: {', '.join(missing)}"
+        )
+    return diff
+
+
 def diff_runs(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -472,6 +599,8 @@ def diff_runs(
         return diff_bench(old, new, thresholds)
     if kind_old == "bench-tree":
         return diff_bench_tree(old, new, thresholds)
+    if kind_old == "bench-negotiation":
+        return diff_bench_negotiation(old, new, thresholds)
     diff = diff_manifests(old, new, thresholds)
     if old_events is not None and new_events is not None:
         diff_traces(diff, old_events, new_events, thresholds)

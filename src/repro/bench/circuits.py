@@ -458,6 +458,33 @@ def standard_suite() -> List[DatasetSpec]:
     ]
 
 
+def congestion_suite() -> List[DatasetSpec]:
+    """Congestion-adversarial line-up: CGP1.
+
+    Built to stress channel capacity rather than timing: wide locality
+    windows and a heavy population of high-fanout hub nets funnel many
+    trees through the same few channels, and a low feed fraction keeps
+    vertical escape routes scarce.  On this shape the edge-deletion
+    engine's one-shot greedy deletions lock in early congestion
+    mistakes, while the negotiated engine's iterative rip-up converges
+    to measurably fewer timing violations at comparable area — the
+    committed evidence that negotiation pays off under congestion (see
+    ``tests/test_negotiated_convergence.py`` and
+    ``benchmarks/bench_negotiation.py``).
+    """
+    cg = CircuitSpec(
+        "CG1", n_gates=160, n_flops=20, n_inputs=10, n_outputs=8,
+        n_diff_pairs=2, locality=24, hub_fraction=0.2, hub_fanout=8,
+        seed=55,
+    )
+    return [
+        DatasetSpec(
+            "CGP1", cg, FeedStyle.EVEN, feed_fraction=0.04,
+            n_rows=8, n_constraints=12, constraint_factor=1.15,
+        ),
+    ]
+
+
 def small_suite() -> List[DatasetSpec]:
     """A fast miniature line-up for tests and pytest-benchmark."""
     c1 = CircuitSpec(

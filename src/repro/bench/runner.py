@@ -12,8 +12,8 @@ from ..analysis.signoff import SignoffReport, sign_off
 from ..baselines.lower_bound import critical_path_lower_bound_ps
 from ..channelrouter.leftedge import route_channels
 from ..core.config import RouterConfig
+from ..engines import make_engine
 from ..layout.floorplan import assign_external_pins
-from ..core.router import GlobalRouter
 from ..core.result import GlobalRoutingResult
 from ..obs.events import TraceSink, Tracer
 from ..obs.metrics import MetricsRegistry
@@ -108,7 +108,7 @@ def run_dataset(
     lower_bound = critical_path_lower_bound_ps(
         dataset.circuit, dataset.placement, technology
     )
-    router = GlobalRouter(
+    router = make_engine(
         dataset.circuit, dataset.placement, constraints, config,
         trace_sink=tracer, metrics=metrics, profiler=profiler,
         decision_sampling=decision_sampling,

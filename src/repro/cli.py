@@ -55,7 +55,7 @@ from .bench.runner import run_suite
 from .bench.tables import format_table1, format_table2, format_table3
 from .channelrouter.leftedge import route_channels
 from .core.config import RouterConfig
-from .core.router import GlobalRouter
+from .engines import engine_names, make_engine
 from .errors import ReproError
 from .io.json_report import (
     global_result_to_dict,
@@ -116,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--estimator", choices=("spt", "steiner"), default="spt",
         help="tentative-tree estimator",
+    )
+    route.add_argument(
+        "--engine", choices=engine_names(), default="edge-deletion",
+        help="routing engine: the paper's edge-deletion loop or the "
+        "PathFinder-style negotiated-congestion engine",
     )
     route.add_argument(
         "--anneal", type=int, default=0, metavar="MOVES",
@@ -258,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
         "more than this percent",
     )
     compare_runs.add_argument(
+        "--no-require-identical-deletions",
+        action="store_true",
+        help="engine-comparison mode: tolerate diverging deletion "
+        "counts/sequences and judge quality deltas only (for diffing "
+        "runs produced by different routing engines)",
+    )
+    compare_runs.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the diff as JSON",
     )
@@ -274,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("both", "constrained", "unconstrained"),
         default="both",
         help="which routing mode(s) to sweep per dataset",
+    )
+    batch.add_argument(
+        "--engine", choices=engine_names(), default="edge-deletion",
+        help="routing engine for every job of the sweep",
     )
     batch.add_argument(
         "--limit", type=int, default=None, metavar="N",
@@ -486,6 +502,7 @@ def _cmd_route(args) -> int:
         technology=technology,
         assignment_order=args.order,
         tree_estimator=args.estimator,
+        routing_engine=args.engine,
     )
     if args.unconstrained:
         config = config.unconstrained()
@@ -508,7 +525,7 @@ def _cmd_route(args) -> int:
     sink = JsonlTraceSink(args.trace) if args.trace is not None else None
     tracer = Tracer.of(sink)
     try:
-        router = GlobalRouter(
+        router = make_engine(
             circuit, placement, constraints, config,
             trace_sink=tracer, metrics=metrics, profiler=profiler,
             decision_sampling=args.decisions,
@@ -824,6 +841,7 @@ def _cmd_compare_runs(args) -> int:
         max_violations_delta=args.max_violations_delta,
         max_wall_pct=args.max_wall_pct,
         max_evals_pct=args.max_evals_pct,
+        require_identical_deletions=not args.no_require_identical_deletions,
     )
     old_events = new_events = None
     if args.trace is not None:
@@ -890,8 +908,15 @@ def _cmd_batch(args) -> int:
         "constrained": (True,),
         "unconstrained": (False,),
     }[args.mode]
+    # The default engine keeps config=None so cache keys stay identical
+    # to every sweep recorded before engines existed.
+    job_config = (
+        None
+        if args.engine == "edge-deletion"
+        else RouterConfig(routing_engine=args.engine)
+    )
     jobs = [
-        JobSpec(spec, constrained=mode)
+        JobSpec(spec, constrained=mode, config=job_config)
         for spec in specs
         for mode in modes
     ]

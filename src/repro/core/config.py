@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import ConfigError
@@ -51,6 +51,23 @@ class RouterConfig:
             (the seed's full Dijkstra per evaluation, kept as the
             equivalence/bench baseline).  Both produce bit-identical
             tree lengths and therefore identical routing.
+        routing_engine: which routing algorithm produces the result —
+            ``"edge-deletion"`` (default; the paper's global greedy
+            deletion loop plus the Section 3.5 improvement phases) or
+            ``"negotiated"`` (PathFinder-style iterative
+            rip-up-and-reroute with present-congestion and history
+            costs; legal but not bit-identical to edge-deletion).  See
+            :mod:`repro.engines`.
+        neg_init_pn: initial present-congestion penalty multiplier of
+            the negotiated engine (PathFinder's ``init_pn``).
+        neg_pn_factor: multiplicative penalty escalation per negotiation
+            iteration (``pn *= pn_factor``); must be > 1 so congestion
+            eventually becomes unaffordable.
+        neg_history_weight: weight of the accumulated per-column history
+            cost (PathFinder's ``hn``) in the negotiated edge cost.
+        neg_max_iterations: negotiation iterations before the engine
+            relaxes capacity on still-overused channels to guarantee
+            termination.
         assignment_order: feedthrough-assignment net order — ``None``
             picks the paper's behaviour (ascending zero-wire slack when
             timing-driven, netlist order otherwise); explicit options are
@@ -78,6 +95,11 @@ class RouterConfig:
     tree_estimator: str = "spt"
     selection_engine: str = "incremental"
     tree_engine: str = "incremental"
+    routing_engine: str = "edge-deletion"
+    neg_init_pn: float = 0.5
+    neg_pn_factor: float = 1.6
+    neg_history_weight: float = 0.4
+    neg_max_iterations: int = 40
     assignment_order: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -103,6 +125,18 @@ class RouterConfig:
             raise ConfigError(
                 f"unknown tree_engine {self.tree_engine!r}"
             )
+        if self.routing_engine not in ("edge-deletion", "negotiated"):
+            raise ConfigError(
+                f"unknown routing_engine {self.routing_engine!r}"
+            )
+        if self.neg_init_pn < 0.0:
+            raise ConfigError("neg_init_pn must be >= 0")
+        if self.neg_pn_factor <= 1.0:
+            raise ConfigError("neg_pn_factor must be > 1")
+        if self.neg_history_weight < 0.0:
+            raise ConfigError("neg_history_weight must be >= 0")
+        if self.neg_max_iterations < 1:
+            raise ConfigError("neg_max_iterations must be >= 1")
         if self.assignment_order not in (
             None, "slack", "netlist", "fanout", "hpwl",
         ):
@@ -112,24 +146,9 @@ class RouterConfig:
 
     def unconstrained(self) -> "RouterConfig":
         """The Table 2 baseline variant of this configuration."""
-        return RouterConfig(
-            technology=self.technology,
+        return replace(
+            self,
             timing_driven=False,
             run_violation_recovery=False,
             run_delay_improvement=False,
-            run_area_improvement=self.run_area_improvement,
-            max_recovery_passes=self.max_recovery_passes,
-            max_delay_passes=self.max_delay_passes,
-            max_area_passes=self.max_area_passes,
-            area_nets_per_pass=self.area_nets_per_pass,
-            width_cap_exponent=self.width_cap_exponent,
-            pad_tf_ps_per_pf=self.pad_tf_ps_per_pf,
-            pad_td_ps_per_pf=self.pad_td_ps_per_pf,
-            ff_setup_ps=self.ff_setup_ps,
-            revert_worse_reroutes=self.revert_worse_reroutes,
-            reassign_slots_on_reroute=self.reassign_slots_on_reroute,
-            tree_estimator=self.tree_estimator,
-            selection_engine=self.selection_engine,
-            tree_engine=self.tree_engine,
-            assignment_order=self.assignment_order,
         )

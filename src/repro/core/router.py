@@ -207,8 +207,8 @@ class GlobalRouter:
     # ==================================================================
     # Top level
     # ==================================================================
-    def route(self) -> GlobalRoutingResult:
-        """Run the full Fig. 2 flow and return the routing result."""
+    def begin_route(self) -> None:
+        """Mark the run started and emit ``run_start`` (once only)."""
         if self._routed:
             raise RoutingError("route() may only be called once")
         self._routed = True
@@ -223,24 +223,41 @@ class GlobalRouter:
                 timing_driven=self.config.timing_driven,
                 trace_schema=TRACE_SCHEMA_VERSION,
                 decision_sampling=self.decisions.spec(),
+                engine=self.config.routing_engine,
             )
 
+    def prepare(self) -> None:
+        """Run the Fig. 2 setup stages (lines 01–03): validation, the
+        delay graphs, pin/feedthrough assignment, per-net routing graphs,
+        and the density profiles + tentative trees.
+
+        Public so alternative engines (see :mod:`repro.engines`) can
+        share the exact same nets, constraints, densities, and
+        differential-pair correspondences before running their own loop
+        in place of the deletion loop.
+        """
+        with self.phase_scope("setup"):
+            validate_circuit(self.circuit)
+            self._log("setup", "validated netlist")
+            with self.phase_scope("timing"):
+                self._build_timing()
+            with self.phase_scope("assignment"):
+                self._assign_pins_and_feedthroughs()
+            with self.phase_scope("graphs"):
+                self._build_routing_graphs()
+            with self.phase_scope("density"):
+                self._init_density_and_trees()
+        self._snapshot_density("initial")
+
+    def route(self) -> GlobalRoutingResult:
+        """Run the full Fig. 2 flow and return the routing result."""
+        self.begin_route()
+        tracer = self.tracer
         with self.profiler.phase("route"):
-            with self._phase_scope("setup"):
-                validate_circuit(self.circuit)
-                self._log("setup", "validated netlist")
-                with self._phase_scope("timing"):
-                    self._build_timing()
-                with self._phase_scope("assignment"):
-                    self._assign_pins_and_feedthroughs()
-                with self._phase_scope("graphs"):
-                    self._build_routing_graphs()
-                with self._phase_scope("density"):
-                    self._init_density_and_trees()
-            self._snapshot_density("initial")
+            self.prepare()
 
             self._log("initial", "edge-deletion loop starts")
-            with self._phase_scope("initial"):
+            with self.phase_scope("initial"):
                 self._deletion_loop(
                     list(self._lead_states()), SelectionMode.TIMING
                 )
@@ -255,21 +272,21 @@ class GlobalRouter:
 
             timing = self.config.timing_driven
             if timing and self.config.run_violation_recovery:
-                with self._phase_scope("recover_violate"):
+                with self.phase_scope("recover_violate"):
                     recover_violations(self)
                 self._snapshot_density("post_recovery")
             if timing and self.config.run_delay_improvement:
-                with self._phase_scope("improve_delay"):
+                with self.phase_scope("improve_delay"):
                     improve_delay(self)
             if self.config.run_area_improvement:
-                with self._phase_scope("improve_area"):
+                with self.phase_scope("improve_area"):
                     improve_area(self)
 
-            with self._phase_scope("finalize"):
+            with self.phase_scope("finalize"):
                 self._finalize_trees()
             self._snapshot_density("post_improvement")
         elapsed = self.profiler.wall_s("route")
-        result = self._build_result(elapsed)
+        result = self.build_result(elapsed)
         if tracer.enabled:
             tracer.emit(
                 "run_end",
@@ -281,8 +298,12 @@ class GlobalRouter:
         return result
 
     @contextmanager
-    def _phase_scope(self, name: str) -> Iterator[None]:
-        """Trace + profile one Fig. 2 phase (nestable)."""
+    def phase_scope(self, name: str) -> Iterator[None]:
+        """Trace + profile one named routing phase (nestable).
+
+        Public so alternative engines group their own loop phases into
+        the same trace/profile structure the edge-deletion flow uses.
+        """
         tracer = self.tracer
         self._phase_stack.append(name)
         if tracer.enabled:
@@ -1002,7 +1023,9 @@ class GlobalRouter:
         }
         return attribute_margins(timings, self.caps, net_lengths=lengths)
 
-    def _build_result(self, elapsed: float) -> GlobalRoutingResult:
+    def build_result(self, elapsed: float) -> GlobalRoutingResult:
+        """Materialize the :class:`GlobalRoutingResult` from converged
+        per-net trees (public for alternative engines)."""
         routes: Dict[str, NetRoute] = {}
         total_length = 0.0
         for name in sorted(self.states):

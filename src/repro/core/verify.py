@@ -11,7 +11,20 @@ feedthrough assignment:
 4. **slot exclusivity** — no two nets share a feedthrough column;
 5. **terminal coverage** — each net's route attaches at every pin's
    column/channel;
-6. **length accounting** — the reported total equals the edge sum.
+6. **length accounting** — the reported total equals the edge sum;
+7. **wire uniqueness** — no route lists the same physical wire twice;
+8. **density accounting** — the per-channel peak density recomputed
+   from the routes' merged trunk coverage never exceeds the result's
+   reported ``channel_peak_density``.
+
+Checks 7 and 8 exist because the edge-deletion engine guarantees both
+properties *by construction* (routes are read off a pruned graph in
+which every edge appears once, and density is maintained incrementally
+as edges die), so the checker used to take them on faith.  An iterative
+rip-up-and-reroute engine rebuilds trees from scratch every round; a
+bug there can double-adopt a wire or under-report density — inflating
+wire length or shrinking the floorplan — while still passing checks
+1-6.  The verifier must not trust any engine's bookkeeping.
 
 Violations come back as a list of human-readable strings (empty = clean),
 so the checker slots directly into tests, CI, and post-run sanity checks.
@@ -54,10 +67,12 @@ def verify_routing(
         violations.extend(_check_tree(route))
         violations.extend(_check_terminals(route, net, placement))
         violations.extend(_check_length(route))
+        violations.extend(_check_duplicates(route))
         if assignment is not None:
             violations.extend(
                 _check_slots(route, net, assignment, slot_owner)
             )
+    violations.extend(_check_density(result, placement))
     return violations
 
 
@@ -181,6 +196,76 @@ def _check_length(route: NetRoute) -> List[str]:
             f"{route.total_length_um} != edge sum {total}"
         ]
     return []
+
+
+def _check_duplicates(route: NetRoute) -> List[str]:
+    """No route may list the same physical wire twice.
+
+    A duplicated wire passes the connectivity and length checks (the
+    reported total *includes* the duplicate) while silently inflating
+    wire length, capacitance, and density.  Only TRUNK and BRANCH wires
+    are physical metal; correspondence edges are zero-length bookkeeping
+    hops, and several may legitimately share one column footprint.
+    """
+    seen: Set[Tuple[EdgeKind, int, int, int]] = set()
+    problems = []
+    for edge in route.edges:
+        if edge.kind not in (EdgeKind.TRUNK, EdgeKind.BRANCH):
+            continue
+        key = (edge.kind, edge.channel, edge.interval.lo, edge.interval.hi)
+        if key in seen:
+            problems.append(
+                f"net {route.net_name}: duplicate {edge.kind.name} wire "
+                f"in channel {edge.channel} at columns "
+                f"{edge.interval.lo}..{edge.interval.hi}"
+            )
+        seen.add(key)
+    return problems
+
+
+def _check_density(
+    result: GlobalRoutingResult, placement: Placement
+) -> List[str]:
+    """The reported peak density must cover the actual trunk coverage.
+
+    Recomputes each channel's peak column density from every net's
+    *merged* trunk intervals (weighted by the net's width in pitches)
+    and flags any channel whose reported ``channel_peak_density`` falls
+    short.  Follows the density engine's coverage convention — a trunk
+    spanning ``[lo, hi]`` covers columns ``lo .. hi-1`` — and merged
+    coverage is a lower bound on any honest per-edge accounting
+    (abutting edges of one net count once), so a shortfall always means
+    under-reported density — an under-sized floorplan — never a
+    representation difference.
+    """
+    width = max(1, placement.width_columns)
+    coverage: Dict[int, List[int]] = {}
+    for name in sorted(result.routes):
+        route = result.routes[name]
+        weight = route.width_pitches
+        for channel, spans in route.trunk_intervals().items():
+            if not (0 <= channel < placement.n_channels):
+                continue  # reported separately by _check_geometry
+            diff = coverage.setdefault(channel, [0] * (width + 1))
+            for span in spans:
+                lo = max(0, span.lo)
+                hi = min(width, span.hi)
+                if lo < hi:
+                    diff[lo] += weight
+                    diff[hi] -= weight
+    problems = []
+    for channel in sorted(coverage):
+        peak = running = 0
+        for delta in coverage[channel][:-1]:
+            running += delta
+            peak = max(peak, running)
+        reported = result.channel_peak_density.get(channel, 0)
+        if peak > reported:
+            problems.append(
+                f"channel {channel}: actual peak density {peak} exceeds "
+                f"reported {reported}"
+            )
+    return problems
 
 
 def _check_slots(

@@ -58,6 +58,13 @@ schema):
     A malformed result-cache entry was quarantined (renamed to
     ``*.corrupt``) instead of being served: ``key``, ``path``,
     ``reason``.
+``negotiation_iteration``
+    One rip-up-and-reroute round of the negotiated-congestion engine:
+    ``iteration`` (1-based), ``pn`` (present-congestion multiplier used
+    this round), ``rerouted`` (nets re-routed), ``overused_columns``,
+    ``overused_nets`` (both after the round), ``cap_relaxations``
+    (channels whose capacity budget was lifted; non-zero only on the
+    final round).
 
 Consumers must tolerate kinds they do not know (a newer producer):
 skip them, never raise.  :data:`TRACE_SCHEMA_VERSION` is carried in the
@@ -89,9 +96,10 @@ EVENT_KINDS = (
     "pair_broken",
     "channel_routed",
     "cache_corrupt",
+    "negotiation_iteration",
 )
 
-TRACE_SCHEMA_VERSION = 3
+TRACE_SCHEMA_VERSION = 4
 """Bumped whenever the event vocabulary grows.  Readers warn-and-skip
 unknown kinds rather than fail, so older tools keep working on newer
 traces."""

@@ -16,11 +16,13 @@ standard suite, ``S1P1`` … from the small suite):
     ``compare-runs`` CLI.
 
 Optional fields: ``constrained`` (bool, default true; ``route``/
-``explain`` only), ``seed`` (generator-seed override), ``trace`` (bool —
-stream the run's obs events at ``GET /jobs/{id}/events``), ``tenant``
-(quota bucket, default ``"default"``), ``priority`` (int, larger runs
-first, default 0).  Unknown fields are rejected — a typo must never
-silently change what gets routed.
+``explain`` only), ``engine`` (routing-engine name from
+:func:`repro.engines.engine_names`, default ``"edge-deletion"``; an
+unknown name is a 400), ``seed`` (generator-seed override), ``trace``
+(bool — stream the run's obs events at ``GET /jobs/{id}/events``),
+``tenant`` (quota bucket, default ``"default"``), ``priority`` (int,
+larger runs first, default 0).  Unknown fields are rejected — a typo
+must never silently change what gets routed.
 
 Identity: :func:`job_key_of` reduces a request to a deterministic hex
 key built from the :meth:`~repro.exec.jobs.JobSpec.cache_key` of every
@@ -38,9 +40,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..bench.circuits import DatasetSpec, small_suite, standard_suite
+from ..core.config import RouterConfig
+from ..engines import engine_names
 from ..exec.jobs import JobSpec
 
 JOB_KINDS = ("route", "explain", "compare")
+
+DEFAULT_ENGINE = "edge-deletion"
 
 SERVICE_SCHEMA = "repro-service/1"
 
@@ -60,6 +66,7 @@ class JobRequest:
     kind: str
     dataset: str
     constrained: bool = True
+    engine: str = DEFAULT_ENGINE
     seed: Optional[int] = None
     trace: bool = False
     tenant: str = "default"
@@ -72,6 +79,7 @@ class JobRequest:
             "kind": self.kind,
             "dataset": self.dataset,
             "constrained": self.constrained,
+            "engine": self.engine,
             "seed": self.seed,
             "trace": self.trace,
             "tenant": self.tenant,
@@ -86,8 +94,8 @@ class JobRequest:
 
 
 _FIELDS = {
-    "kind", "dataset", "constrained", "seed", "trace", "tenant",
-    "priority",
+    "kind", "dataset", "constrained", "engine", "seed", "trace",
+    "tenant", "priority",
 }
 
 
@@ -121,6 +129,12 @@ def parse_job_request(payload: Any) -> JobRequest:
     constrained = payload.get("constrained", True)
     if not isinstance(constrained, bool):
         raise ApiError("constrained must be a boolean")
+    engine = payload.get("engine", DEFAULT_ENGINE)
+    if not isinstance(engine, str) or engine not in engine_names():
+        raise ApiError(
+            f"engine must be one of {', '.join(engine_names())} "
+            f"(got {engine!r})"
+        )
     seed = payload.get("seed")
     if seed is not None and (
         not isinstance(seed, int) or isinstance(seed, bool)
@@ -139,6 +153,7 @@ def parse_job_request(payload: Any) -> JobRequest:
         kind=kind,
         dataset=dataset,
         constrained=constrained,
+        engine=engine,
         seed=seed,
         trace=trace,
         tenant=tenant,
@@ -147,15 +162,29 @@ def parse_job_request(payload: Any) -> JobRequest:
 
 
 def build_specs(request: JobRequest) -> List[JobSpec]:
-    """The exec-engine specs a request executes, in execution order."""
+    """The exec-engine specs a request executes, in execution order.
+
+    The default engine maps to ``config=None`` (the spec's paper-default
+    config) so pre-engine cache keys stay valid; any other engine rides
+    in on an explicit :class:`RouterConfig` and therefore changes the
+    cache key.
+    """
     dataset = known_datasets()[request.dataset]
+    config = (
+        None
+        if request.engine == DEFAULT_ENGINE
+        else RouterConfig(routing_engine=request.engine)
+    )
     if request.kind == "compare":
         return [
-            JobSpec(dataset, constrained=True, seed=request.seed),
-            JobSpec(dataset, constrained=False, seed=request.seed),
+            JobSpec(dataset, constrained=True, config=config,
+                    seed=request.seed),
+            JobSpec(dataset, constrained=False, config=config,
+                    seed=request.seed),
         ]
     return [
-        JobSpec(dataset, constrained=request.constrained, seed=request.seed)
+        JobSpec(dataset, constrained=request.constrained, config=config,
+                seed=request.seed)
     ]
 
 

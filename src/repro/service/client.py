@@ -96,6 +96,29 @@ class ServiceClient:
         means enqueued, ``200`` means coalesced or already complete."""
         return self._request("POST", "/jobs", payload, ok=(200, 202))
 
+    def submit_route(
+        self,
+        dataset: str,
+        *,
+        constrained: bool = True,
+        engine: str = "edge-deletion",
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Submit a ``route`` job with explicit engine selection.
+
+        Thin convenience over :meth:`submit`; ``extra`` fields (``seed``,
+        ``trace``, ``tenant``, ``priority``) ride along verbatim.  An
+        unknown ``engine`` is rejected server-side with a 400.
+        """
+        payload: Dict[str, Any] = {
+            "kind": "route",
+            "dataset": dataset,
+            "constrained": constrained,
+            "engine": engine,
+        }
+        payload.update(extra)
+        return self.submit(payload)
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /jobs/{id}`` — current status."""
         return self._request("GET", f"/jobs/{job_id}")

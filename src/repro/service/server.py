@@ -127,6 +127,7 @@ class Job:
             "key": self.key,
             "kind": self.request.kind,
             "dataset": self.request.dataset,
+            "engine": self.request.engine,
             "tenant": self.request.tenant,
             "priority": self.request.priority,
             "traced": self.request.traced,

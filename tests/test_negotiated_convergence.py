@@ -1,0 +1,54 @@
+"""Convergence and quality guarantees of the negotiated engine.
+
+Slower than the unit tests: routes the whole standard suite with the
+negotiated engine in both modes and asserts the engine's termination
+contract — every run ends with zero overused columns and a route set
+the independent checker accepts — plus the committed
+congestion-adversarial scenario where negotiation must beat the
+edge-deletion baseline.
+"""
+
+import pytest
+
+from repro.bench.circuits import congestion_suite, standard_suite
+from repro.bench.runner import run_dataset
+from repro.core.config import RouterConfig
+from repro.core.verify import verify_routing
+
+_MODES = (True, False)  # TIMING, AREA
+
+
+@pytest.mark.parametrize(
+    "spec", standard_suite(), ids=lambda spec: spec.name
+)
+@pytest.mark.parametrize(
+    "constrained", _MODES, ids=("timing", "area")
+)
+def test_negotiated_converges_to_zero_overuse(spec, constrained):
+    config = RouterConfig(routing_engine="negotiated")
+    record, result, report, dataset = run_dataset(
+        spec, constrained, config=config
+    )
+    assert record.metrics.get("negotiate.overused_columns") == 0.0
+    assert record.metrics.get("negotiate.iterations", 0) >= 1
+    problems = verify_routing(dataset.circuit, dataset.placement, result)
+    assert problems == [], problems[:3]
+    assert report.critical_delay_ps > 0
+    assert report.area_mm2 > 0
+
+
+def test_negotiated_beats_edge_deletion_under_congestion():
+    """On the committed congestion-adversarial design, iterative rip-up
+    must strictly beat one-shot greedy deletion on timing violations
+    without giving the win back in area."""
+    spec = congestion_suite()[0]
+    by_engine = {}
+    for engine in ("edge-deletion", "negotiated"):
+        record, *_ = run_dataset(
+            spec, True, config=RouterConfig(routing_engine=engine)
+        )
+        by_engine[engine] = record
+    edge = by_engine["edge-deletion"]
+    neg = by_engine["negotiated"]
+    assert neg.violations < edge.violations
+    assert neg.area_mm2 <= edge.area_mm2 * 1.05
