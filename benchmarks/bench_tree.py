@@ -176,6 +176,9 @@ def snapshot_entry(full, incremental):
         ),
         "wall_s_full": round(full["wall_s"], 4),
         "wall_s_incremental": round(incremental["wall_s"], 4),
+        "wall_speedup": round(
+            full["wall_s"] / max(1e-9, incremental["wall_s"]), 3
+        ),
     }
 
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..core.density import downsample_columns
+
 SNAPSHOT_LABELS = (
     "initial",
     "post_deletion",
@@ -113,15 +115,16 @@ def snapshots_from_events(events: Iterable) -> List[HeatmapSnapshot]:
 
 
 def _strip(values: List[int], max_width: int) -> str:
-    """One character per (downsampled) column; window max when folded."""
+    """One character per (downsampled) column; window max when folded.
+
+    Uses the same windowed-max reduction the density engine applies when
+    capping wide snapshot payloads, so a pre-downsampled payload renders
+    exactly as the full-resolution one would at this width.
+    """
     if not values:
         return ""
-    if len(values) <= max_width:
-        return "".join(_glyph(v) for v in values)
-    stride = -(-len(values) // max_width)  # ceil division
     return "".join(
-        _glyph(max(values[x:x + stride]))
-        for x in range(0, len(values), stride)
+        _glyph(v) for v in downsample_columns(values, max_width)
     )
 
 

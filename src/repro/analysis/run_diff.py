@@ -8,9 +8,9 @@ the CLI exits non-zero — the CI regression gate.  Supported inputs:
   (critical delay, total length, deletions, violations), the
   ``router.peak_density_total`` gauge, and per-phase wall times
   (report-only by default — wall clocks are noisy in CI);
-* **bench snapshots** (``repro-bench-selection/1``, written by
+* **bench snapshots** (``repro-bench-selection/2``, written by
   ``benchmarks/bench_selection.py --json``): per-design key-evals per
-  deletion and wall time;
+  deletion, vectorized-core batch counts, and wall time;
 * optionally, two **traces** alongside the manifests: the first
   ``edge_deleted`` divergence point (report-only — two seeds *should*
   diverge) and per-channel ``C_M``/``C_m`` deltas from the final
@@ -24,8 +24,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.manifest import MANIFEST_SCHEMA
 
-BENCH_SELECTION_SCHEMA = "repro-bench-selection/1"
-BENCH_TREE_SCHEMA = "repro-bench-tree/1"
+BENCH_SELECTION_SCHEMA = "repro-bench-selection/2"
+BENCH_TREE_SCHEMA = "repro-bench-tree/2"
 BENCH_NEGOTIATION_SCHEMA = "repro-bench-negotiation/1"
 
 
@@ -407,11 +407,34 @@ def diff_bench(
             new_row.get("key_evals_per_deletion_incremental"),
             thresholds.max_evals_pct,
         )
+        # Vectorized-core batch counts are exact routing invariants
+        # (schema /2): growth means rows are being re-refreshed that the
+        # dirty-signature tracking used to skip — a perf regression even
+        # when wall clocks stay quiet, so gate like key-evals.
+        _gate_pct(
+            diff,
+            f"{design}.vectorized_rows_incremental",
+            old_row.get("vectorized_rows_incremental"),
+            new_row.get("vectorized_rows_incremental"),
+            thresholds.max_evals_pct,
+        )
+        _gate_pct(
+            diff,
+            f"{design}.vectorized_batches_incremental",
+            old_row.get("vectorized_batches_incremental"),
+            new_row.get("vectorized_batches_incremental"),
+            thresholds.max_evals_pct,
+        )
         _gate_pct(
             diff, f"{design}.wall_s_incremental",
             old_row.get("wall_s_incremental"),
             new_row.get("wall_s_incremental"),
             thresholds.max_wall_pct,
+        )
+        _gate_delta(
+            diff, f"{design}.wall_speedup",
+            old_row.get("wall_speedup"), new_row.get("wall_speedup"),
+            None,
         )
         _gate_delta(
             diff, f"{design}.deletions",
@@ -462,6 +485,11 @@ def diff_bench_tree(
             old_row.get("wall_s_incremental"),
             new_row.get("wall_s_incremental"),
             thresholds.max_wall_pct,
+        )
+        _gate_delta(
+            diff, f"{design}.wall_speedup",
+            old_row.get("wall_speedup"), new_row.get("wall_speedup"),
+            None,
         )
         _gate_delta(
             diff, f"{design}.deletions",

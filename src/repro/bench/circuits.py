@@ -458,6 +458,30 @@ def standard_suite() -> List[DatasetSpec]:
     ]
 
 
+def scale_suite() -> List[DatasetSpec]:
+    """The generated scale tier: 10x–100x the standard suite's net count.
+
+    The paper's datasets top out at ~400 gates (C3); these are the same
+    generator recipe scaled to the sizes where per-candidate Python is
+    simply not routable in reasonable time — X1 (~10x C3) is the CI
+    smoke design, X2 (~100x C3) is the headroom probe for the
+    array-native hot path.  Locality widens with size so channel usage
+    stays proportionate rather than degenerating to local wiring only.
+    """
+    x1 = CircuitSpec(
+        "X1", n_gates=4_000, n_flops=480, n_inputs=40, n_outputs=24,
+        n_diff_pairs=8, locality=16, seed=41,
+    )
+    x2 = CircuitSpec(
+        "X2", n_gates=40_000, n_flops=4_800, n_inputs=120, n_outputs=64,
+        n_diff_pairs=16, locality=24, seed=43,
+    )
+    return [
+        DatasetSpec("X1P1", x1, FeedStyle.EVEN, n_constraints=40),
+        DatasetSpec("X2P1", x2, FeedStyle.EVEN, n_constraints=80),
+    ]
+
+
 def congestion_suite() -> List[DatasetSpec]:
     """Congestion-adversarial line-up: CGP1.
 

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Mapping, Tuple
 
+import numpy as np
+
 from ..errors import TimingError
 from ..netlist.circuit import Net
 from ..timing.constraint import ConstraintGraph
@@ -73,6 +75,18 @@ class ConstraintArcRows:
 
     cg: ConstraintGraph
     rows: Tuple[tuple, ...]
+    _td_floats: object = field(default=None, repr=False, compare=False)
+
+    def td_floats(self) -> list:
+        """``td_ps_per_pf`` per row as Python floats, cached — for the
+        order-sensitive ``LD`` fold in the vectorized criteria path."""
+        if self._td_floats is None:
+            object.__setattr__(
+                self,
+                "_td_floats",
+                [arc.td_ps_per_pf for arc, _, _ in self.rows],
+            )
+        return self._td_floats
 
     @staticmethod
     def build(cg: ConstraintGraph, net: Net) -> "ConstraintArcRows":
@@ -197,3 +211,74 @@ def evaluate_delay_criteria(
         for arc, _, _ in arc_rows.rows:
             local_delay += delta_cl * arc.td_ps_per_pf
     return DelayCriteria(critical_count, global_delay, local_delay)
+
+
+def evaluate_delay_criteria_batch(
+    context: NetTimingContext,
+    cl_now_pf: float,
+    cl_if_deleted_pf: np.ndarray,
+    timings: Mapping[str, ConstraintTiming],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`evaluate_delay_criteria` over one net's candidates.
+
+    ``cl_if_deleted_pf`` holds the post-deletion capacitance of each
+    candidate edge of the net; returns parallel ``(C_d, Gl, LD)`` arrays
+    (int64, float64, float64) **bit-identical** to the scalar function
+    per element.  That identity is load-bearing (deletion sequences must
+    not move), so this is a careful transposition, not a free rewrite:
+
+    * Constraint graphs and their arcs are walked sequentially in the
+      same order; only the candidate dimension is vectorized.  All
+      elementwise float64 ops (`+`, `-`, `*`, `/`) round identically to
+      their scalar counterparts, and operand association is kept exactly
+      as the scalar expressions group.
+    * The running ``worst_excess`` maximum is folded arc-by-arc with
+      ``np.maximum`` — max never rounds, so fold order only matters for
+      NaN, which the ±inf skip below rules out.  (An (arcs ×
+      candidates) broadcast was tried and is *slower* here: typical
+      shapes are 1–4 arcs × 6–20 candidates, where the temporaries
+      cost more than the loop.)
+    * Arcs whose longest-path endpoints are ``-inf`` are skipped exactly
+      as in :func:`_worst_excess` (``lp`` is candidate-independent, so
+      the skip set is too — this also avoids ``inf - inf`` NaNs).
+    * ``LD`` stays a per-arc Python fold: float addition is
+      order-sensitive, and numpy's axis reductions sum pairwise.
+    * ``np.exp`` is **not** used: libm's vector exp may differ from
+      ``math.exp`` in the last ulp.  The exponential penalty branch runs
+      ``math.exp`` in a Python loop over the (rare) violated candidates.
+    """
+    n = int(np.asarray(cl_if_deleted_pf).shape[0])
+    crit = np.zeros(n, dtype=np.int64)
+    gl = np.zeros(n, dtype=np.float64)
+    ld = np.zeros(n, dtype=np.float64)
+    if not context.constrained or n == 0:
+        return crit, gl, ld
+    cl = np.asarray(cl_if_deleted_pf, dtype=np.float64)
+    delta_cl = cl - cl_now_pf
+    neg_inf = float("-inf")
+    for arc_rows in context.arc_rows():
+        cg = arc_rows.cg
+        timing = timings[cg.name]
+        limit = cg.limit_ps
+        if limit <= 0.0:
+            raise TimingError("penalty needs a positive delay limit")
+        margin = timing.margin_ps
+        lp = timing.lp
+        worst = np.zeros(n, dtype=np.float64)
+        for arc, tail_position, head_position in arc_rows.rows:
+            lp_tail = lp[tail_position]
+            lp_head = lp[head_position]
+            if lp_tail == neg_inf or lp_head == neg_inf:
+                continue
+            d_new = arc.const_ps + cl * arc.td_ps_per_pf
+            excess = (lp_tail + d_new) - lp_head
+            np.maximum(worst, excess, out=worst)
+        lm = margin - worst
+        crit += lm <= 0.0
+        pen = 1.0 - lm / limit
+        for i in np.flatnonzero(lm < 0.0):
+            pen[i] = math.exp(-float(lm[i]) / limit)
+        gl += pen - penalty(margin, limit)
+        for td_ps in arc_rows.td_floats():
+            ld += delta_cl * td_ps
+    return crit, gl, ld

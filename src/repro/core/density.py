@@ -19,10 +19,20 @@ conditions of Section 3.4.
 Coverage convention: a trunk edge spanning columns ``[lo, hi]`` covers the
 half-open column range ``lo .. hi-1`` — so two trunks of the same net
 meeting at a branching point do not double-count the junction column.
-Branch and correspondence edges never contribute to the profiles (the
-paper counts trunk edges only), but when the selection heuristics need
-density parameters *at* such an edge they are evaluated over the single
-column the edge occupies.
+**Zero-span trunks** (``lo == hi``) are the one deliberate exception:
+a strictly half-open reading would make them cover *nothing*, so
+:func:`coverage_columns` clamps them to cover their single column
+``lo``.  The graph builder never emits zero-span trunks (two trunks
+meeting at a point share one vertex instead), so the clamp only matters
+for hand-built or synthetic graphs — and there it keeps every consumer
+consistent: profile updates, per-edge parameter queries, and the
+congested-net scan all go through :func:`coverage_columns`, so a
+zero-span trunk is counted once, in one column, everywhere (the PR 3
+``_congested_nets`` fix locked this in; ``tests/test_improve_internals``
+asserts it).  Branch and correspondence edges never contribute to the
+profiles (the paper counts trunk edges only), but when the selection
+heuristics need density parameters *at* such an edge they are evaluated
+over the single column the edge occupies.
 """
 
 from __future__ import annotations
@@ -57,10 +67,41 @@ class EdgeDensityParams:
 
 
 def coverage_columns(edge: RouteEdge) -> Tuple[int, int]:
-    """Inclusive column range an edge covers for density purposes."""
+    """Inclusive column range an edge covers for density purposes.
+
+    Trunks use the half-open convention (``hi`` is exclusive); zero-span
+    trunks are clamped to cover their single column ``lo`` — see the
+    module docstring for why that is the chosen convention.
+    """
     if edge.kind is EdgeKind.TRUNK:
         return edge.interval.lo, max(edge.interval.lo, edge.interval.hi - 1)
     return edge.interval.lo, edge.interval.lo
+
+
+#: Column cap above which :meth:`DensityEngine.snapshot` downsamples the
+#: per-column strips (the scalar channel stats stay exact).  512 keeps a
+#: full-resolution payload for every hand-sized and standard-suite chip
+#: while bounding trace size for the generated scale tier.
+SNAPSHOT_MAX_COLUMNS = 512
+
+
+def downsample_columns(
+    values: Sequence[int], max_width: int
+) -> List[int]:
+    """Windowed-maximum downsample of a column profile to ``max_width``.
+
+    The same reduction ``repro trace heatmap`` applies for display: each
+    output cell is the max over a fixed-stride window, so channel peaks
+    survive (density is a "worst column" measure — mean-pooling would
+    hide exactly the columns the router cares about).
+    """
+    n = len(values)
+    if max_width < 1 or n <= max_width:
+        return [int(v) for v in values]
+    stride = -(-n // max_width)
+    return [
+        int(max(values[i : i + stride])) for i in range(0, n, stride)
+    ]
 
 
 class DensityEngine:
@@ -123,12 +164,19 @@ class DensityEngine:
         channel = edge.channel
         self._check_channel(channel)
         lo, hi = self._checked_coverage(edge)
-        maps[channel][lo : hi + 1] += delta
-        if maps[channel][lo : hi + 1].min() < 0:
+        window = maps[channel][lo : hi + 1]
+        # Validate *before* mutating: the delta is uniform over the
+        # window, so the post-update minimum is exactly
+        # ``min(window) + delta`` — checking it first means a raised
+        # RoutingError leaves the profile, version stamps, stats cache
+        # and listeners all untouched (previously the array was already
+        # corrupted when the error propagated).
+        if delta < 0 and int(window.min()) + delta < 0:
             raise RoutingError(
                 f"negative density in channel {channel} — unbalanced "
                 "add/remove"
             )
+        window += delta
         self.version[channel] += 1
         self.updates += 1
         self._stats_cache.pop(channel, None)
@@ -201,6 +249,54 @@ class DensityEngine:
             nd_min=int((window_min == stats.c_min).sum()),
         )
 
+    def edge_params_batch(
+        self,
+        channel: int,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`edge_params` over many coverage windows.
+
+        ``lo``/``hi`` are parallel int arrays of inclusive column ranges
+        (already bounds-checked by the caller via coverage columns of
+        alive edges).  Returns ``(d_max, nd_max, d_min, nd_min)`` int64
+        arrays, elementwise identical to calling :meth:`edge_params` per
+        edge: every reduction is an integer max/sum over the same
+        columns, so there is no floating-point order sensitivity.
+
+        The windows of one channel are flattened into a single index
+        vector and reduced with ``np.maximum.reduceat``/``np.add.reduceat``
+        — one pass over ``Σ window widths`` elements instead of ~2
+        Python-level array ops per candidate.
+        """
+        self._check_channel(channel)
+        stats = self.channel_stats(channel)
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        n = lo.shape[0]
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, empty
+        lens = hi - lo + 1
+        starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        total = int(starts[-1] + lens[-1])
+        # flat[k] = absolute column of the k-th flattened window element.
+        flat = np.arange(total, dtype=np.int64)
+        flat -= np.repeat(starts, lens)
+        flat += np.repeat(lo, lens)
+        dM = self.d_max[channel][flat]
+        dm = self.d_min[channel][flat]
+        d_max = np.maximum.reduceat(dM, starts).astype(np.int64)
+        d_min = np.maximum.reduceat(dm, starts).astype(np.int64)
+        nd_max = np.add.reduceat(
+            (dM == stats.c_max).astype(np.int64), starts
+        )
+        nd_min = np.add.reduceat(
+            (dm == stats.c_min).astype(np.int64), starts
+        )
+        return d_max, nd_max, d_min, nd_min
+
     def density_at(self, channel: int, column: int) -> Tuple[int, int]:
         """``(d_M, d_m)`` at one column."""
         self._check_channel(channel)
@@ -229,15 +325,32 @@ class DensityEngine:
         self._check_channel(channel)
         return self.d_max[channel].copy(), self.d_min[channel].copy()
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(
+        self, max_columns: int = SNAPSHOT_MAX_COLUMNS
+    ) -> Dict[str, object]:
         """JSON-ready snapshot of every channel's profiles and stats.
 
         The payload of the ``density_snapshot`` trace events the router
         emits at phase boundaries (rendered by ``repro trace heatmap``).
+
+        Chips wider than ``max_columns`` get their column lists
+        downsampled by windowed maximum (the same reduction the heatmap
+        renderer applies for display), so trace size stays linear in
+        design count at the scale tier instead of ballooning with chip
+        width.  The scalar ``c_max``/``nc_max``/``c_min``/``nc_min``
+        fields are always exact — only the per-column strips lose
+        resolution — and the emitted ``column_stride`` records the
+        window width (1 = full resolution).
         """
+        capped = self.width_columns > max_columns > 0
         channels = []
         for channel in range(self.n_channels):
             stats = self.channel_stats(channel)
+            d_max: Sequence[int] = self.d_max[channel]
+            d_min: Sequence[int] = self.d_min[channel]
+            if capped:
+                d_max = downsample_columns(d_max, max_columns)
+                d_min = downsample_columns(d_min, max_columns)
             channels.append(
                 {
                     "channel": channel,
@@ -245,11 +358,18 @@ class DensityEngine:
                     "nc_max": stats.nc_max,
                     "c_min": stats.c_min,
                     "nc_min": stats.nc_min,
-                    "d_max": [int(v) for v in self.d_max[channel]],
-                    "d_min": [int(v) for v in self.d_min[channel]],
+                    "d_max": [int(v) for v in d_max],
+                    "d_min": [int(v) for v in d_min],
                 }
             )
-        return {"width_columns": self.width_columns, "channels": channels}
+        stride = (
+            -(-self.width_columns // max_columns) if capped else 1
+        )
+        return {
+            "width_columns": self.width_columns,
+            "column_stride": stride,
+            "channels": channels,
+        }
 
     def _check_channel(self, channel: int) -> None:
         if not (0 <= channel < self.n_channels):

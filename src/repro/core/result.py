@@ -73,10 +73,20 @@ class NetRoute:
 
 
 def merge_intervals(spans: List[Interval]) -> List[Interval]:
-    """Merge touching/overlapping intervals into maximal runs."""
+    """Merge overlapping / endpoint-sharing intervals into maximal runs.
+
+    Trunk intervals are continuous vertex-coordinate spans: two trunks
+    of one net abut only when they share an endpoint vertex (``[3,19]``
+    + ``[19,24]`` → ``[3,24]``).  ``[3,19]`` and ``[20,24]`` are two
+    physically separate wires with a gap over column 19 — the
+    gap-of-one "adjacency" that :meth:`Interval.touches_or_overlaps`
+    merges (slot-run semantics) must NOT be bridged here, or the
+    channel router lays extra wire and the verifier's recomputed
+    density over-counts columns no trunk covers.
+    """
     merged: List[Interval] = []
     for span in sorted(spans):
-        if merged and merged[-1].touches_or_overlaps(span):
+        if merged and merged[-1].hi >= span.lo:
             merged[-1] = merged[-1].union_hull(span)
         else:
             merged.append(span)

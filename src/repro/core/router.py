@@ -38,6 +38,8 @@ from contextlib import contextmanager
 from functools import partial
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..bipolar.differential import (
     PairCorrespondence,
     establish_correspondence,
@@ -166,6 +168,17 @@ class GlobalRouter:
         self._timings: Dict[str, ConstraintTiming] = {}
         self._timing_dirty = True
         self._timing_version = 0
+        # Net names whose wire caps changed since the last analysis;
+        # None means "unknown — re-analyze everything".  Constraint
+        # timings are pure functions of their member nets' caps, so
+        # constraints disjoint from this set keep their previous
+        # (bit-identical) results.
+        self._caps_dirty: Optional[set] = None
+        self._cgs_of_net: Dict[str, Tuple[str, ...]] = {}
+        # Per-constraint re-analysis counter: lets downstream caches
+        # (the selection engine's delay columns) tell exactly which
+        # constraint timings moved on a timing-version bump.
+        self._cg_epoch: Dict[str, int] = {}
         self._routed = False
 
         # Observability (all default to no-ops).
@@ -346,6 +359,13 @@ class GlobalRouter:
             for constraint in self.constraints
         ]
         self.analyzer = StaticTimingAnalyzer(self.gd, self.constraint_graphs)
+        cgs_of_net: Dict[str, List[str]] = {}
+        for cg in self.constraint_graphs:
+            for net in cg.nets():
+                cgs_of_net.setdefault(net.name, []).append(cg.name)
+        self._cgs_of_net = {
+            name: tuple(names) for name, names in cgs_of_net.items()
+        }
         self._log(
             "setup",
             f"G_D: {len(self.gd.vertices)} vertices, "
@@ -512,6 +532,12 @@ class GlobalRouter:
             timer=partial(self.metrics.timer, "router.tree_eval_s"),
         )
         state.cl_if_deleted.clear()
+        # The selection-key cache is keyed by edge id too, so it is just
+        # as build-scoped: an entry computed for the old graph's edge N
+        # must not be offered for the new graph's unrelated edge N (its
+        # stale version stamps can collide with the new edge's current
+        # ones after a rebuild's unregister/register churn).
+        state.key_cache.clear()
 
     def _tree_engine(self, state: _NetState) -> FullTreeEngine:
         engine = state.tree_engine
@@ -537,7 +563,7 @@ class GlobalRouter:
             state.cl_pf = self.delay_model.wire_cap_pf(
                 tree.total_length_um, state.net.width_pitches
             )
-            self.caps.set(state.net, state.cl_pf)
+            self._set_wire_cap(state.net, state.cl_pf)
         if engine.kind != "incremental":
             # Seed behaviour: every candidate re-evaluates from scratch.
             # The incremental engine instead keeps the entries — they are
@@ -578,6 +604,46 @@ class GlobalRouter:
         state.cl_if_deleted[edge_id] = (cl, engine.version)
         return cl
 
+    def _cl_if_deleted_many(
+        self, state: _NetState, edge_ids
+    ) -> np.ndarray:
+        """Batched :meth:`_cl_if_deleted` over one net's candidates.
+
+        Cache hits fill directly; the misses go through the tree
+        engine's ``evaluate_many`` in one call, which resolves most of
+        them via the off-tree fast path without a Dijkstra.  Returns a
+        float64 array parallel to ``edge_ids`` with values identical to
+        the scalar method's.
+        """
+        engine = self._tree_engine(state)
+        version = engine.version
+        cache = state.cl_if_deleted
+        out = np.empty(len(edge_ids), dtype=np.float64)
+        missing: List[int] = []
+        missing_pos: List[int] = []
+        for pos, raw_id in enumerate(edge_ids):
+            edge_id = int(raw_id)
+            cached = cache.get(edge_id)
+            if cached is not None and cached[1] == version:
+                out[pos] = cached[0]
+            else:
+                missing.append(edge_id)
+                missing_pos.append(pos)
+        if missing:
+            trees = engine.evaluate_many(missing)
+            wire_cap_pf = self.delay_model.wire_cap_pf
+            width = state.net.width_pitches
+            for pos, edge_id, tree in zip(missing_pos, missing, trees):
+                if tree is None:
+                    raise RoutingError(
+                        f"net {state.net.name}: edge {edge_id} is "
+                        "essential but was offered as a candidate"
+                    )
+                cl = wire_cap_pf(tree.total_length_um, width)
+                cache[edge_id] = (cl, version)
+                out[pos] = cl
+        return out
+
     # ==================================================================
     # Timing
     # ==================================================================
@@ -585,13 +651,49 @@ class GlobalRouter:
         if self._timing_dirty:
             with self.profiler.phase("timing_update"):
                 with self.metrics.timer("router.timing_analysis_s"):
-                    self._timings = self.analyzer.analyze_all(self.caps)
+                    self._analyze_dirty()
             self._timing_dirty = False
             self._timing_version += 1
             self._m_timing.inc()
             if self.tracer.enabled:
                 self._emit_violation_transitions()
         return self._timings
+
+    def _analyze_dirty(self) -> None:
+        """Re-analyze the constraints whose member nets' caps changed.
+
+        A constraint timing is a pure function of its member nets' wire
+        caps, so constraints untouched by ``_caps_dirty`` keep their
+        previous results — which are bit-for-bit what a full
+        ``analyze_all`` would recompute for them.  A ``None`` dirty set
+        (initial state, or an invalidation of unknown scope) falls back
+        to the full analysis.
+        """
+        epoch = self._cg_epoch
+        if self._caps_dirty is None or not self._timings:
+            self._timings = self.analyzer.analyze_all(self.caps)
+            for cg in self.constraint_graphs:
+                epoch[cg.name] = epoch.get(cg.name, 0) + 1
+        else:
+            affected: set = set()
+            for name in self._caps_dirty:
+                affected.update(self._cgs_of_net.get(name, ()))
+            if affected:
+                timings = dict(self._timings)
+                for cg in self.constraint_graphs:
+                    if cg.name in affected:
+                        timings[cg.name] = self.analyzer.analyze_constraint(
+                            cg, self.caps
+                        )
+                        epoch[cg.name] = epoch.get(cg.name, 0) + 1
+                self._timings = timings
+        self._caps_dirty = set()
+
+    def _set_wire_cap(self, net: Net, cap_pf: float) -> None:
+        """Update one net's wire cap, recording it for selective STA."""
+        self.caps.set(net, cap_pf)
+        if self._caps_dirty is not None:
+            self._caps_dirty.add(net.name)
 
     def _emit_violation_transitions(self) -> None:
         """Emit found/cleared events for constraints whose violation
@@ -875,7 +977,7 @@ class GlobalRouter:
             self._register_density(member)
             member.tree = tree
             member.cl_pf = cl
-            self.caps.set(member.net, cl)
+            self._set_wire_cap(member.net, cl)
             # Rebind the tree engine to the restored graph (the reroute
             # bound it to the discarded one) and hand it the snapshotted
             # tree so the off-tree fast path works immediately.

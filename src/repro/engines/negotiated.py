@@ -333,7 +333,7 @@ class NegotiatedEngine(RoutingEngine):
         cl = router.delay_model.wire_cap_pf(
             length, state.net.width_pitches
         )
-        router.caps.set(state.net, cl)
+        router._set_wire_cap(state.net, cl)
         router._timing_dirty = True
 
     def _mirror_tree(self, state, tree: Set[int], pn: float) -> None:
@@ -442,7 +442,10 @@ class NegotiatedEngine(RoutingEngine):
                     best = left
             return best * pitch
 
-        indptr, nbr_vertex, nbr_edge, _ = graph.csr()
+        # The list mirror, not the numpy arrays: this A* relaxes edges
+        # one at a time in Python, where list indexing avoids numpy
+        # scalar boxing on every neighbour visit.
+        indptr, nbr_vertex, nbr_edge, _ = graph.csr_lists()
         dist: Dict[int, float] = {}
         parent: Dict[int, Tuple[int, int]] = {}
         heap: List[Tuple[float, float, int]] = []
@@ -514,3 +517,6 @@ class NegotiatedEngine(RoutingEngine):
                 )
         router.deletions += pruned_total
         router._timing_dirty = True
+        # Scope unknown (graphs were mutated wholesale, and _refresh_tree
+        # recorded only changed-tree nets) — force a full re-analysis.
+        router._caps_dirty = None

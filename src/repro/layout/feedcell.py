@@ -258,8 +258,7 @@ class FeedCellInserter:
             index = self._nearest_allowed_index(ideal, row_len, protected)
             placements.append((index, cells))
         placements.sort(key=lambda p: p[0], reverse=True)
-        for index, cells in placements:
-            self.placement.insert_cells(row, index, cells)
+        self.placement.insert_cell_blocks(row, placements)
 
     @staticmethod
     def _nearest_allowed_index(

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import FeedthroughError
 from ..netlist.circuit import Circuit, Net
 from .placement import Placement
@@ -82,6 +84,18 @@ class RowSlots:
             c: None for c in self.columns
         }
         self.flagged_groups: List[FlaggedGroup] = []
+        # Array mirror of the single-pitch free set (unflagged AND
+        # unoccupied), kept in lock-step by every mutator: turns the
+        # per-call column scan + keyed min of single-pitch find_group
+        # into two vector ops over the row.
+        self._cols_arr = np.asarray(self.columns, dtype=np.int64)
+        self._col_index: Dict[int, int] = {
+            c: i for i, c in enumerate(self.columns)
+        }
+        self._free_unflagged = np.ones(len(self.columns), dtype=bool)
+        # net name -> columns it occupies here; lets release() touch
+        # exactly the net's slots instead of scanning the whole row.
+        self._net_columns: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------
     def add_column(self, column: int) -> None:
@@ -94,6 +108,16 @@ class RowSlots:
         self.columns.sort()
         self.flag[column] = None
         self.occupant[column] = None
+        self._cols_arr = np.asarray(self.columns, dtype=np.int64)
+        self._col_index = {c: i for i, c in enumerate(self.columns)}
+        self._free_unflagged = np.fromiter(
+            (
+                self.flag[c] is None and self.occupant[c] is None
+                for c in self.columns
+            ),
+            dtype=bool,
+            count=len(self.columns),
+        )
 
     def flag_group(self, start: int, width: int) -> None:
         """Reserve columns ``[start, start+width)`` for width-pitch nets."""
@@ -108,6 +132,7 @@ class RowSlots:
                     f"row {self.row}: slot {column} already flagged"
                 )
             self.flag[column] = width
+            self._free_unflagged[self._col_index[column]] = False
         self.flagged_groups.append(group)
         self.flagged_groups.sort(key=lambda g: g.start)
 
@@ -127,21 +152,22 @@ class RowSlots:
 
         Returns the leftmost column of the chosen group, or ``None``.
         """
-        candidates: List[int] = []
         if width == 1:
-            candidates.extend(
-                c
-                for c in self.columns
-                if self.flag[c] is None and self.occupant[c] is None
-            )
-        else:
-            candidates.extend(
-                g.start
-                for g in self.flagged_groups
-                if g.width == width and self._group_free(g)
-            )
-            if not strict_flags:
-                candidates.extend(self._unflagged_runs(width))
+            free = self._cols_arr[self._free_unflagged]
+            if free.size == 0:
+                return None
+            # Same float64 association as the keyed min below
+            # (``(start + half) - x_target``), so the winner is the
+            # scalar scan's winner; ties break to the smallest column.
+            d = np.abs((free + (width - 1) / 2.0) - x_target)
+            return int(free[d == d.min()].min())
+        candidates: List[int] = [
+            g.start
+            for g in self.flagged_groups
+            if g.width == width and self._group_free(g)
+        ]
+        if not strict_flags:
+            candidates.extend(self._unflagged_runs(width))
         if not candidates:
             return None
         return min(
@@ -186,15 +212,22 @@ class RowSlots:
                     f"{self.occupant[column]}"
                 )
             self.occupant[column] = net.name
+            self._free_unflagged[self._col_index[column]] = False
+            self._net_columns.setdefault(net.name, []).append(column)
 
     def release(self, net_name: str) -> None:
-        for column, owner in self.occupant.items():
-            if owner == net_name:
+        for column in self._net_columns.pop(net_name, ()):
+            if self.occupant[column] == net_name:
                 self.occupant[column] = None
+                if self.flag[column] is None:
+                    self._free_unflagged[self._col_index[column]] = True
 
     def release_all(self) -> None:
         for column in self.occupant:
             self.occupant[column] = None
+        self._net_columns.clear()
+        for column, flag in self.flag.items():
+            self._free_unflagged[self._col_index[column]] = flag is None
 
     def __repr__(self) -> str:
         return (

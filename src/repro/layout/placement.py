@@ -190,14 +190,78 @@ class Placement:
     def insert_cells(
         self, row: int, index: int, cells: Sequence[Cell]
     ) -> None:
-        """Insert cells into a row at list position ``index`` and refresh."""
+        """Insert cells into a row at list position ``index``.
+
+        Only the inserted cells and the cells to their right are
+        re-packed — an O(row suffix) update instead of a full-chip
+        :meth:`refresh`.  Feed-cell insertion calls this once per
+        block, so the full recompute made setup quadratic in chip
+        size.  Duplicate placements are rejected *before* any state
+        changes, matching what ``refresh()`` would have raised.
+        """
         self._check_row(row)
-        if not (0 <= index <= len(self.rows[row])):
+        row_cells = self.rows[row]
+        if not (0 <= index <= len(row_cells)):
             raise PlacementError(
                 f"insertion index {index} out of range for row {row}"
             )
-        self.rows[row][index:index] = list(cells)
-        self.refresh()
+        incoming = list(cells)
+        seen = set()
+        for cell in incoming:
+            if cell.name in self._position or cell.name in seen:
+                raise PlacementError(
+                    f"cell {cell.name} placed more than once"
+                )
+            seen.add(cell.name)
+        if index == 0:
+            x = 0
+        else:
+            prev = row_cells[index - 1]
+            x = self._position[prev.name][1] + prev.width
+        row_cells[index:index] = incoming
+        for cell in row_cells[index:]:
+            self._position[cell.name] = (row, x)
+            x += cell.width
+
+    def insert_cell_blocks(
+        self, row: int, placements: Sequence[Tuple[int, Sequence[Cell]]]
+    ) -> None:
+        """Apply many ``(index, cells)`` insertions to one row at once.
+
+        ``placements`` must be ordered right-to-left (descending index,
+        as :meth:`~repro.layout.feedcell.FeedCellInserter` computes
+        them against the pre-insertion list), so each splice lands
+        where a sequential :meth:`insert_cells` loop would have put it
+        — but the O(row suffix) position repack runs **once** from the
+        leftmost splice instead of once per block, which is what kept
+        feed-cell insertion quadratic on scale-tier chips.
+        """
+        self._check_row(row)
+        row_cells = self.rows[row]
+        seen = set()
+        for _, cells in placements:
+            for cell in cells:
+                if cell.name in self._position or cell.name in seen:
+                    raise PlacementError(
+                        f"cell {cell.name} placed more than once"
+                    )
+                seen.add(cell.name)
+        lowest = len(row_cells)
+        for index, cells in placements:
+            if not (0 <= index <= len(row_cells)):
+                raise PlacementError(
+                    f"insertion index {index} out of range for row {row}"
+                )
+            row_cells[index:index] = list(cells)
+            lowest = min(lowest, index)
+        if lowest == 0:
+            x = 0
+        else:
+            prev = row_cells[lowest - 1]
+            x = self._position[prev.name][1] + prev.width
+        for cell in row_cells[lowest:]:
+            self._position[cell.name] = (row, x)
+            x += cell.width
 
     def swap_cells(self, cell_a: Cell, cell_b: Cell) -> None:
         """Exchange two placed cells without disturbing their neighbours.

@@ -99,8 +99,10 @@ EVENT_KINDS = (
     "negotiation_iteration",
 )
 
-TRACE_SCHEMA_VERSION = 4
-"""Bumped whenever the event vocabulary grows.  Readers warn-and-skip
+TRACE_SCHEMA_VERSION = 5
+"""Bumped whenever the event vocabulary grows or a payload changes
+shape (v5: ``density_snapshot`` profiles are downsampled past 512
+columns and carry a ``column_stride`` field).  Readers warn-and-skip
 unknown kinds rather than fail, so older tools keep working on newer
 traces."""
 

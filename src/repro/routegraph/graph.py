@@ -35,6 +35,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from ..errors import RoutingGraphError
 from ..geometry import Interval
 from ..netlist.circuit import Net, NetPin
@@ -143,8 +145,12 @@ class RoutingGraph:
             self._adjacency[edge.u].append(edge.index)
             self._adjacency[edge.v].append(edge.index)
         self._csr: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._csr_lists: Optional[
             Tuple[List[int], List[int], List[int], List[float]]
         ] = None
+        self._alive_length: Optional[float] = None
         self._check_initial()
         # Initial cleanup: prune fragments that can never serve the net
         # (e.g. the unused side of a single-point channel) and classify.
@@ -192,20 +198,42 @@ class RoutingGraph:
     def degree(self, vertex: int) -> int:
         return sum(1 for _ in self.neighbours(vertex))
 
-    def csr(self) -> Tuple[List[int], List[int], List[int], List[float]]:
-        """Flat adjacency over the *alive* edges, CSR-style.
+    def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat adjacency over the *alive* edges, CSR-style, as arrays.
 
-        Returns ``(indptr, nbr_vertex, nbr_edge, nbr_length)``: the
-        alive neighbours of vertex ``v`` occupy slots
-        ``indptr[v]:indptr[v + 1]`` of the three parallel arrays.
-        Neighbour order matches :meth:`neighbours` (ascending edge
-        index per vertex), so graph walks over either representation
-        break ties identically.  The arrays are cached and rebuilt
-        lazily after any deletion/reclassification — the tentative-tree
-        engine's Dijkstra runs on them instead of re-filtering the
-        per-vertex edge lists on every visit.
+        Returns ``(indptr, nbr_vertex, nbr_edge, nbr_length)``:
+        ``indptr``/``nbr_vertex``/``nbr_edge`` are ``int32`` arrays and
+        ``nbr_length`` ``float64``; the alive neighbours of vertex ``v``
+        occupy slots ``indptr[v]:indptr[v + 1]`` of the three parallel
+        arrays.  Neighbour order matches :meth:`neighbours` (ascending
+        edge index per vertex), so graph walks over either
+        representation break ties identically.  The arrays are cached
+        and rebuilt lazily after any deletion/reclassification — batch
+        consumers (vectorized density/criteria evaluation, the
+        negotiated engine's cost maps) index them directly, while
+        scalar graph walks use the :meth:`csr_lists` mirror.
         """
         if self._csr is None:
+            indptr, nbr_vertex, nbr_edge, nbr_length = self.csr_lists()
+            self._csr = (
+                np.asarray(indptr, dtype=np.int32),
+                np.asarray(nbr_vertex, dtype=np.int32),
+                np.asarray(nbr_edge, dtype=np.int32),
+                np.asarray(nbr_length, dtype=np.float64),
+            )
+        return self._csr
+
+    def csr_lists(
+        self,
+    ) -> Tuple[List[int], List[int], List[int], List[float]]:
+        """The same CSR adjacency as :meth:`csr`, as Python lists.
+
+        The tree engine's Dijkstra inner loop pops these with plain
+        ``int``/``float`` scalars (numpy scalar boxing would slow the
+        hot loop and leak ``np.float64`` into tree lengths); both
+        caches are built from one pass and invalidated together.
+        """
+        if self._csr_lists is None:
             indptr: List[int] = [0]
             nbr_vertex: List[int] = []
             nbr_edge: List[int] = []
@@ -221,8 +249,8 @@ class RoutingGraph:
                         nbr_edge.append(edge_id)
                         nbr_length.append(edge.length_um)
                 indptr.append(len(nbr_vertex))
-            self._csr = (indptr, nbr_vertex, nbr_edge, nbr_length)
-        return self._csr
+            self._csr_lists = (indptr, nbr_vertex, nbr_edge, nbr_length)
+        return self._csr_lists
 
     @property
     def is_tree(self) -> bool:
@@ -279,6 +307,8 @@ class RoutingGraph:
         Returns ``(pruned_edge_ids, newly_essential_edge_ids)``.
         """
         self._csr = None
+        self._csr_lists = None
+        self._alive_length = None
         pruned = self._prune_unreachable()
         pruned.extend(self._prune_terminal_free_subtrees())
         newly_essential = self._refresh_essential()
@@ -412,7 +442,20 @@ class RoutingGraph:
         return list(self.alive_edges())
 
     def total_alive_length_um(self) -> float:
-        return sum(e.length_um for e in self.alive_edges())
+        """Summed alive-edge length, cached between mutations.
+
+        The sum runs in ascending edge-index order (the same fold as
+        the uncached genexpr it replaces) so the cached value is
+        bit-identical to a fresh recomputation; the cache drops on
+        every :meth:`reclassify`.  ``_phase_metric`` calls this for
+        every net on every reroute decision, so the cache turns an
+        O(nets × edges) rescan into an O(nets) lookup.
+        """
+        if self._alive_length is None:
+            self._alive_length = sum(
+                e.length_um for e in self.alive_edges()
+            )
+        return self._alive_length
 
     def __repr__(self) -> str:
         alive = sum(1 for _ in self.alive_edges())

@@ -19,10 +19,11 @@ the evaluation incremental while guaranteeing **bit-identical lengths**:
   chain was itself settled earlier (its parent edge is assigned while
   the parent is being expanded), so all backtrace chains are frozen at
   their exhaustive-run values by then.
-* **CSR adjacency** — runs on :meth:`RoutingGraph.csr`, flat parallel
-  arrays that preserve per-vertex ascending-edge-index order, so heap
-  contents and parallel-edge tie-breaks match the reference walk
-  exactly.
+* **CSR adjacency** — runs on :meth:`RoutingGraph.csr_lists` (the
+  scalar mirror of the cached :meth:`RoutingGraph.csr` arrays), flat
+  parallel lists that preserve per-vertex ascending-edge-index order,
+  so heap contents and parallel-edge tie-breaks match the reference
+  walk exactly.
 
 The union backtrace itself is shared with the reference estimator
 (:func:`collect_union`), so the ``edge_ids`` set is built through the
@@ -75,7 +76,7 @@ def tree_graph_labels(
     additions in the identical order, giving bit-identical labels with
     no priority queue.  Feed the result to :func:`collect_union`.
     """
-    indptr, nbr_vertex, nbr_edge, nbr_length = graph.csr()
+    indptr, nbr_vertex, nbr_edge, nbr_length = graph.csr_lists()
     n = len(graph.vertices)
     dist: List[float] = [math.inf] * n
     parent_edge: List[int] = [-1] * n
@@ -111,7 +112,7 @@ def dijkstra_to_terminals(
     ``exhaustive=True`` to disable the cutoff, used by the regression
     tests).  Returns ``None`` when some terminal is unreachable.
     """
-    indptr, nbr_vertex, nbr_edge, nbr_length = graph.csr()
+    indptr, nbr_vertex, nbr_edge, nbr_length = graph.csr_lists()
     n = len(graph.vertices)
     dist: List[float] = [math.inf] * n
     parent_edge: List[int] = [-1] * n
@@ -211,6 +212,21 @@ class FullTreeEngine:
         self._count_eval_run(skip_edge)
         with self._timer():
             return self._estimate(self.graph, skip_edge)
+
+    def evaluate_many(
+        self, edge_ids: Sequence[int]
+    ) -> List[Optional[TentativeTree]]:
+        """Trees for a batch of candidate exclusions, in input order.
+
+        One exclusion per candidate means the batch cannot share a
+        Dijkstra frontier without changing relaxation outcomes, so the
+        base engine simply evaluates each candidate; the incremental
+        engine answers the whole off-union part of the batch with set
+        lookups against the current tree in one pass (see its
+        override).  Either way each entry equals the corresponding
+        :meth:`evaluate` result bit for bit.
+        """
+        return [self.evaluate(edge_id) for edge_id in edge_ids]
 
 
 class IncrementalTreeEngine(FullTreeEngine):
@@ -317,6 +333,45 @@ class IncrementalTreeEngine(FullTreeEngine):
         if tree is not None:
             self._alt[skip_edge] = tree
         return tree
+
+    def evaluate_many(
+        self, edge_ids: Sequence[int]
+    ) -> List[Optional[TentativeTree]]:
+        """Batched :meth:`evaluate`: one pass over the dirty candidates.
+
+        Every candidate *off* the current shortest-path union shares
+        the same answer — the live tree — so the whole off-union slice
+        of the batch is settled with set membership against
+        ``tree.edge_ids`` (this is the multi-candidate pass; a shared
+        Dijkstra frontier is impossible because each candidate excludes
+        a different edge).  Only on-union candidates without a memoised
+        alternate run their own early-terminated Dijkstra.
+        """
+        if self.estimator != "spt" or self.tree is None:
+            return super().evaluate_many(edge_ids)
+        on_union = self.tree.edge_ids
+        out: List[Optional[TentativeTree]] = []
+        fastpath = 0
+        for edge_id in edge_ids:
+            if edge_id not in on_union:
+                out.append(self.tree)
+                fastpath += 1
+                continue
+            alt = self._alt.get(edge_id)
+            if alt is not None:
+                out.append(alt)
+                fastpath += 1
+                continue
+            self._count_eval_run(edge_id)
+            with self._timer():
+                tree = dijkstra_to_terminals(self.graph, edge_id)
+            if tree is not None:
+                self._alt[edge_id] = tree
+            out.append(tree)
+        self._m_evals.inc(len(edge_ids))
+        if fastpath:
+            self._m_fastpath.inc(fastpath)
+        return out
 
 
 TREE_ENGINES = {

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import TimingError
 from ..netlist.circuit import Net
 from .constraint import ConstraintGraph
@@ -76,10 +78,20 @@ class ConstraintTiming:
     worst_delay_ps: float
     margin_ps: float
     critical_arc_positions: List[int] = field(default_factory=list)
+    _lp_arr: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def violated(self) -> bool:
         return self.margin_ps < 0.0
+
+    def lp_array(self) -> np.ndarray:
+        """``lp`` as a float64 array (cached — the analysis result is
+        immutable), for the vectorized delay-criteria path."""
+        if self._lp_arr is None:
+            self._lp_arr = np.asarray(self.lp, dtype=np.float64)
+        return self._lp_arr
 
     def critical_nets(self) -> List[Net]:
         """Distinct nets along the recorded critical path, path order."""

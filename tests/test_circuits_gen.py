@@ -9,6 +9,7 @@ from repro.bench.circuits import (
     generate_circuit,
     generate_constraints,
     make_dataset,
+    scale_suite,
     small_suite,
     standard_suite,
 )
@@ -155,3 +156,16 @@ class TestDatasets:
     def test_small_suite_is_small(self):
         for spec in small_suite():
             assert spec.circuit.n_gates <= 100
+
+
+    def test_scale_suite_is_10x_to_100x(self):
+        suite = scale_suite()
+        assert [s.name for s in suite] == ["X1P1", "X2P1"]
+        c3_gates = standard_suite()[-1].circuit.n_gates
+        x1, x2 = (s.circuit for s in suite)
+        assert x1.n_gates == 10 * c3_gates
+        assert x2.n_gates == 100 * c3_gates
+        # Specs must pass CircuitSpec validation (constructed above) and
+        # the smoke design must stay buildable: generate X1's circuit
+        # only (X2 is the headroom probe, too big for unit tests).
+        validate_circuit(generate_circuit(x1))

@@ -2,14 +2,16 @@
 
 import math
 
+import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from conftest import build_diamond_circuit
 from repro.core.criteria import (
     DelayCriteria,
     NetTimingContext,
     evaluate_delay_criteria,
+    evaluate_delay_criteria_batch,
     local_margin,
     penalty,
 )
@@ -166,3 +168,99 @@ class TestEvaluateDelayCriteria:
         a = DelayCriteria(0, 1.0, 5.0)
         b = DelayCriteria(1, 0.0, 0.0)
         assert a.as_tuple() < b.as_tuple()
+
+
+class TestEvaluateDelayCriteriaBatch:
+    """The vectorized evaluator must be BIT-identical to the scalar one
+    per element — deletion sequences ride on exact float equality."""
+
+    def _timings_and_contexts(self, timed_diamond, caps):
+        circuit, _, cg, analyzer = timed_diamond
+        timings = {cg.name: analyzer.analyze_constraint(cg, caps)}
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        return circuit, timings, contexts
+
+    def test_unconstrained_net_is_all_zero(self, timed_diamond):
+        circuit, _, _, _ = timed_diamond
+        context = NetTimingContext(circuit.net("n_b"))
+        crit, gl, ld = evaluate_delay_criteria_batch(
+            context, 0.0, np.array([0.5, 1.0, 2.0]), {}
+        )
+        assert crit.tolist() == [0, 0, 0]
+        assert gl.tolist() == [0.0, 0.0, 0.0]
+        assert ld.tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty_batch(self, timed_diamond):
+        circuit, timings, contexts = self._timings_and_contexts(
+            timed_diamond, WireCaps()
+        )
+        crit, gl, ld = evaluate_delay_criteria_batch(
+            contexts["n_b"], 0.0, np.empty(0), timings
+        )
+        assert crit.shape == gl.shape == ld.shape == (0,)
+
+    def test_bit_identical_to_scalar(self, timed_diamond):
+        circuit, timings, contexts = self._timings_and_contexts(
+            timed_diamond, WireCaps({"n_b": 0.7, "n_c": 0.3})
+        )
+        cls = np.array([0.0, 0.1, 0.5, 1.7, 13.0, 100.0])
+        for net_name in ("n_a", "n_b", "n_c", "n_d", "n_in"):
+            context = contexts[net_name]
+            crit, gl, ld = evaluate_delay_criteria_batch(
+                context, 0.4, cls, timings
+            )
+            for i, cl in enumerate(cls):
+                scalar = evaluate_delay_criteria(
+                    context, 0.4, float(cl), timings
+                )
+                assert int(crit[i]) == scalar.critical_count
+                # Exact equality on purpose: no pytest.approx.
+                assert float(gl[i]) == scalar.global_delay
+                assert float(ld[i]) == scalar.local_delay
+
+    @given(
+        st.lists(
+            st.floats(0.0, 150.0, allow_nan=False), min_size=1, max_size=12
+        ),
+        st.floats(0.0, 5.0, allow_nan=False),
+        st.floats(0.0, 3.0),
+        st.floats(0.0, 3.0),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        # The fixture is read-only here (analysis results are fresh per
+        # draw), so sharing it across examples is safe.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_bit_identical_property(
+        self, timed_diamond, cls, cl_now, cap_b, cap_c
+    ):
+        circuit, timings, contexts = self._timings_and_contexts(
+            timed_diamond, WireCaps({"n_b": cap_b, "n_c": cap_c})
+        )
+        context = contexts["n_b"]
+        crit, gl, ld = evaluate_delay_criteria_batch(
+            context, cl_now, np.array(cls), timings
+        )
+        for i, cl in enumerate(cls):
+            scalar = evaluate_delay_criteria(context, cl_now, cl, timings)
+            assert int(crit[i]) == scalar.critical_count
+            assert float(gl[i]) == scalar.global_delay
+            assert float(ld[i]) == scalar.local_delay
+
+    def test_nonpositive_limit_raises(self, timed_diamond):
+        circuit, gd, cg, analyzer = timed_diamond
+        timings = {cg.name: analyzer.analyze_constraint(cg, WireCaps())}
+        contexts = NetTimingContext.build_all(circuit.routable_nets, [cg])
+        # PathConstraint rejects non-positive limits at construction, so
+        # reach around the frozen dataclass to exercise the defensive
+        # check in the batch evaluator.
+        object.__setattr__(cg.constraint, "limit_ps", 0.0)
+        try:
+            with pytest.raises(TimingError):
+                evaluate_delay_criteria_batch(
+                    contexts["n_b"], 0.0, np.array([1.0]), timings
+                )
+        finally:
+            object.__setattr__(cg.constraint, "limit_ps", 300.0)

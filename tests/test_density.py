@@ -188,3 +188,188 @@ def test_engine_matches_brute_force(edges_spec, data):
         assert stats.nc_max == int(
             (reference[channel] == reference[channel].max()).sum()
         )
+
+
+class TestApplyValidation:
+    """A failed update must leave the engine exactly as it found it."""
+
+    def _engine_with_edge(self):
+        engine = DensityEngine(2, 10)
+        engine.add_edge(trunk(0, 0, 2, 6))
+        return engine
+
+    def test_failed_remove_leaves_profile_untouched(self):
+        engine = self._engine_with_edge()
+        before_max = engine.profile(0)[0].copy()
+        with pytest.raises(RoutingError):
+            engine.remove_edge(trunk(1, 0, 0, 8), weight=2)
+        assert np.array_equal(engine.profile(0)[0], before_max)
+
+    def test_failed_remove_leaves_version_and_stats(self):
+        engine = self._engine_with_edge()
+        stats_before = engine.channel_stats(0)
+        version_before = list(engine.version)
+        updates_before = engine.updates
+        with pytest.raises(RoutingError):
+            engine.remove_edge(trunk(1, 0, 1, 9))
+        assert list(engine.version) == version_before
+        assert engine.updates == updates_before
+        assert engine.channel_stats(0) == stats_before
+
+    def test_failed_remove_notifies_no_listener(self):
+        engine = self._engine_with_edge()
+        calls = []
+        engine.subscribe(calls.append)
+        with pytest.raises(RoutingError):
+            engine.remove_edge(trunk(1, 0, 0, 8), weight=2)
+        assert calls == []
+
+    def test_partial_overlap_failure_is_atomic(self):
+        # Window [0, 8) overlaps the occupied [2, 6): columns 0..1 are
+        # empty so the removal is illegal, and the occupied columns must
+        # NOT have been decremented on the way to discovering that.
+        engine = self._engine_with_edge()
+        with pytest.raises(RoutingError):
+            engine.remove_edge(trunk(1, 0, 0, 8))
+        assert engine.density_at(0, 3) == (1, 0)
+
+
+class TestZeroSpanTrunk:
+    """Zero-span trunks (interval lo == hi) count once, in column lo."""
+
+    def test_coverage_clamps_to_single_column(self):
+        assert coverage_columns(trunk(0, 0, 4, 4)) == (4, 4)
+
+    def test_density_counts_single_column(self):
+        engine = DensityEngine(1, 10)
+        engine.add_edge(trunk(0, 0, 4, 4))
+        assert engine.density_at(0, 4) == (1, 0)
+        assert engine.density_at(0, 3) == (0, 0)
+        assert engine.density_at(0, 5) == (0, 0)
+
+    def test_params_match_single_column_branch_shape(self):
+        engine = DensityEngine(1, 10)
+        engine.add_edge(trunk(0, 0, 4, 4))
+        params = engine.edge_params(trunk(1, 0, 4, 4))
+        assert (params.d_max, params.d_min) == (1, 0)
+
+
+class TestEdgeParamsBatch:
+    def _random_engine(self, rng, n_channels=2, width=24):
+        engine = DensityEngine(n_channels, width)
+        for i in range(rng.randrange(1, 12)):
+            channel = rng.randrange(n_channels)
+            lo = rng.randrange(width - 1)
+            hi = rng.randrange(lo + 1, width)
+            engine.add_edge(trunk(i, channel, lo, hi))
+        return engine
+
+    def test_empty_batch(self):
+        engine = DensityEngine(1, 8)
+        empty = np.empty(0, dtype=np.int64)
+        for arr in engine.edge_params_batch(0, empty, empty):
+            assert arr.shape == (0,)
+            assert arr.dtype == np.int64
+
+    def test_matches_scalar_on_random_profiles(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            engine = self._random_engine(rng)
+            width = engine.width_columns
+            windows = []
+            for _ in range(rng.randrange(1, 10)):
+                lo = rng.randrange(width)
+                hi = rng.randrange(lo, width)
+                windows.append((lo, hi))
+            channel = rng.randrange(engine.n_channels)
+            lo_arr = np.array([w[0] for w in windows], dtype=np.int64)
+            hi_arr = np.array([w[1] for w in windows], dtype=np.int64)
+            d_max, nd_max, d_min, nd_min = engine.edge_params_batch(
+                channel, lo_arr, hi_arr
+            )
+            for i, (lo, hi) in enumerate(windows):
+                scalar = engine.edge_params(
+                    trunk(99, channel, lo, hi + 1)
+                )
+                assert d_max[i] == scalar.d_max
+                assert nd_max[i] == scalar.nd_max
+                assert d_min[i] == scalar.d_min
+                assert nd_min[i] == scalar.nd_min
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_property(self, data):
+        width = 16
+        engine = DensityEngine(1, width)
+        spans = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, width - 2), st.integers(1, 6),
+                ),
+                max_size=8,
+            )
+        )
+        for i, (lo, span) in enumerate(spans):
+            engine.add_edge(trunk(i, 0, lo, min(width, lo + span)))
+        windows = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, width - 1), st.integers(0, 5),
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        lo_arr = np.array([w[0] for w in windows], dtype=np.int64)
+        hi_arr = np.array(
+            [min(width - 1, w[0] + w[1]) for w in windows],
+            dtype=np.int64,
+        )
+        batch = engine.edge_params_batch(0, lo_arr, hi_arr)
+        for i in range(len(windows)):
+            scalar = engine.edge_params(
+                trunk(99, 0, int(lo_arr[i]), int(hi_arr[i]) + 1)
+            )
+            assert batch[0][i] == scalar.d_max
+            assert batch[1][i] == scalar.nd_max
+            assert batch[2][i] == scalar.d_min
+            assert batch[3][i] == scalar.nd_min
+
+
+class TestDownsample:
+    def test_passthrough_when_narrow(self):
+        from repro.core.density import downsample_columns
+
+        assert downsample_columns([3, 1, 2], 8) == [3, 1, 2]
+
+    def test_windowed_max_preserves_peaks(self):
+        from repro.core.density import downsample_columns
+
+        values = [0] * 100
+        values[57] = 9
+        folded = downsample_columns(values, 10)
+        assert len(folded) == 10
+        assert max(folded) == 9
+        assert folded[5] == 9  # stride 10 -> window [50, 60)
+
+    def test_uneven_tail_window(self):
+        from repro.core.density import downsample_columns
+
+        # 7 values into max 3 -> stride 3: windows [0:3], [3:6], [6:7].
+        assert downsample_columns([1, 2, 3, 4, 5, 6, 7], 3) == [3, 6, 7]
+
+    def test_snapshot_caps_wide_chips(self):
+        engine = DensityEngine(1, 100)
+        engine.add_edge(trunk(0, 0, 57, 58))
+        snap = engine.snapshot(max_columns=10)
+        assert snap["column_stride"] == 10
+        assert len(snap["channels"][0]["d_max"]) == 10
+        assert max(snap["channels"][0]["d_max"]) == 1
+        # Scalar stats stay exact even when strips are folded.
+        assert snap["channels"][0]["c_max"] == 1
+
+    def test_snapshot_full_resolution_below_cap(self):
+        engine = DensityEngine(1, 100)
+        snap = engine.snapshot(max_columns=512)
+        assert snap["column_stride"] == 1
+        assert len(snap["channels"][0]["d_max"]) == 100

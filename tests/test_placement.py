@@ -177,3 +177,64 @@ class TestMutation:
         assert len(feeds) == 1
         assert feeds[0].x == 5
         assert placement.feed_cells_in_row(0)[0].cell is f
+
+
+class TestInsertCellBlocks:
+    def _feeds(self, circuit, n, prefix="nf"):
+        return [
+            circuit.add_cell(f"{prefix}{i}", "FEED") for i in range(n)
+        ]
+
+    def test_matches_sequential_insert_cells(self, circuit):
+        a, b, d, f = (circuit.cell(n) for n in "abdf")
+        feeds = self._feeds(circuit, 4)
+        seq = Placement(circuit, [[a, f, b]])
+        # Descending-index order, as FeedCellInserter produces.
+        blocks = [(3, feeds[2:4]), (1, feeds[0:2])]
+        for index, cells in blocks:
+            seq.insert_cells(0, index, cells)
+        expected = {
+            cell.name: seq.location_of(cell) for cell in seq.rows[0]
+        }
+        batched = Placement(circuit, [[a, f, b]])
+        batched.insert_cell_blocks(0, blocks)
+        assert [c.name for c in batched.rows[0]] == [
+            c.name for c in seq.rows[0]
+        ]
+        for cell in batched.rows[0]:
+            assert batched.location_of(cell) == expected[cell.name]
+
+    def test_single_block_equals_insert_cells(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        feeds = self._feeds(circuit, 2)
+        placement = Placement(circuit, [[a, b]])
+        placement.insert_cell_blocks(0, [(1, feeds)])
+        assert [c.name for c in placement.rows[0]] == [
+            "a", "nf0", "nf1", "b",
+        ]
+        assert placement.location_of(feeds[0]) == (0, 5)
+        assert placement.location_of(feeds[1]) == (0, 6)
+        assert placement.location_of(b) == (0, 7)
+
+    def test_duplicate_rejected_before_mutation(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        feed = self._feeds(circuit, 1)[0]
+        placement = Placement(circuit, [[a, b]])
+        with pytest.raises(PlacementError):
+            placement.insert_cell_blocks(0, [(1, [feed]), (0, [feed])])
+        # The row must be untouched after the failed batch.
+        assert [c.name for c in placement.rows[0]] == ["a", "b"]
+        assert placement.location_of(b) == (0, 5)
+
+    def test_already_placed_cell_rejected(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        placement = Placement(circuit, [[a, b]])
+        with pytest.raises(PlacementError):
+            placement.insert_cell_blocks(0, [(0, [a])])
+
+    def test_bad_index_raises(self, circuit):
+        a, b = circuit.cell("a"), circuit.cell("b")
+        feed = self._feeds(circuit, 1)[0]
+        placement = Placement(circuit, [[a, b]])
+        with pytest.raises(PlacementError):
+            placement.insert_cell_blocks(0, [(7, [feed])])

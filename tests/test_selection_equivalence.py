@@ -108,6 +108,17 @@ class TestFullRouteEquivalence:
             <= m_rescan["router.key_recomputes"]
         )
 
+    def test_vectorized_core_is_exercised(self, routed_pair):
+        """The array-native hot path must actually run (not silently
+        fall back to scalar): every design refreshes candidate rows in
+        batches, and each batch covers multiple rows on average."""
+        design, _, (_, _, m_inc) = routed_pair
+        rows = m_inc.get("router.vectorized_rows", 0)
+        batches = m_inc.get("router.vectorized_batches", 0)
+        assert rows > 0, f"{design}: vectorized path never ran"
+        assert batches > 0
+        assert rows >= batches
+
 
 @pytest.mark.parametrize("design", DESIGNS)
 def test_area_mode_sequence_identical(design):
