@@ -124,3 +124,57 @@ def test_traced_default_sampling_overhead_under_10pct(benchmark, s1_spec):
         f"{100 * overhead:.1f}% wall time (medians {untraced_med:.4f}s "
         f"untraced vs {traced_med:.4f}s traced) — exceeds the 10% budget"
     )
+
+
+@pytest.mark.bench
+def test_relay_overhead_under_10pct(benchmark, s1_spec):
+    """A traced job through a real worker subprocess — spool writes,
+    parent-side tailing, context stamping, the whole relay — must cost
+    less than 10% wall time over the identical untraced pool run."""
+    from repro.exec import JobSpec, run_batch
+    from repro.exec.jobs import execute_job
+
+    spec = JobSpec(dataset=s1_spec, constrained=True)
+
+    def batch_once(traced):
+        sink = MemorySink() if traced else None
+        start = time.perf_counter()
+        sweep = run_batch(
+            [spec], workers=1, runner=execute_job, trace_sink=sink
+        )
+        wall = time.perf_counter() - start
+        assert sweep.outcomes[0].status == "ok"
+        if traced:
+            assert any(
+                e.kind == "run_end" for e in sink.events
+            ), "relay dropped the event stream"
+        return wall
+
+    def run_all():
+        untraced, traced = [], []
+        batch_once(False)  # warm-up (fork machinery, imports) off-clock
+        for _ in range(REPEATS):
+            untraced.append(batch_once(False))
+            traced.append(batch_once(True))
+        return untraced, traced
+
+    untraced, traced = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Min-of-N for the same one-sided-noise reason as above.
+    untraced_min = min(untraced)
+    traced_min = min(traced)
+    overhead = (traced_min - untraced_min) / untraced_min
+    jitter_floor = 0.010  # pool runs include fork+IPC; allow 10 ms slack
+
+    benchmark.extra_info["untraced_min_s"] = round(untraced_min, 4)
+    benchmark.extra_info["traced_min_s"] = round(traced_min, 4)
+    benchmark.extra_info["relay_overhead_pct"] = round(100 * overhead, 2)
+
+    assert (
+        overhead < MAX_TRACED_OVERHEAD
+        or traced_min - untraced_min < jitter_floor
+    ), (
+        f"relayed tracing costs {100 * overhead:.1f}% wall time "
+        f"({untraced_min:.4f}s untraced vs {traced_min:.4f}s traced "
+        "through the pool) — exceeds the 10% budget"
+    )

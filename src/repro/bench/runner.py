@@ -16,7 +16,7 @@ from ..engines import make_engine
 from ..layout.floorplan import assign_external_pins
 from ..core.result import GlobalRoutingResult
 from ..obs.events import TraceSink, Tracer
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, current_scoped_registry
 from ..obs.profile import PhaseProfiler
 from ..tech import Technology
 from .circuits import Dataset, DatasetSpec, make_dataset
@@ -86,11 +86,15 @@ def run_dataset(
 
     A fresh netlist/placement is materialized per run (routing mutates the
     placement via feed-cell insertion, so runs must not share one).  Each
-    run gets its own metrics registry; its flattened snapshot rides along
-    on ``RunRecord.metrics``.  Pass ``trace_sink`` to capture the run's
-    structured event stream, ``profiler`` to share a phase profiler, and
-    ``decision_sampling`` (``all``/``off``/``nth:N``) to control
-    deletion-decision records in the trace.
+    run gets its own metrics registry — except under the batch engine's
+    per-job :func:`~repro.obs.metrics.scoped_registry`, where the run
+    publishes into that (equally fresh) scope so the relay's live
+    ``metrics_snapshot`` records can see the counters mid-run.  Either
+    way the flattened snapshot rides along on ``RunRecord.metrics``.
+    Pass ``trace_sink`` to capture the run's structured event stream,
+    ``profiler`` to share a phase profiler, and ``decision_sampling``
+    (``all``/``off``/``nth:N``) to control deletion-decision records in
+    the trace.
     """
     dataset = make_dataset(spec, technology)
     if config is None:
@@ -99,7 +103,8 @@ def run_dataset(
         config = config.unconstrained()
     constraints = dataset.constraints
 
-    metrics = MetricsRegistry()
+    scoped = current_scoped_registry()
+    metrics = scoped if scoped is not None else MetricsRegistry()
     tracer = Tracer.of(trace_sink)
 
     # Pins must have boundary columns before HPWL boxes can be measured;

@@ -203,6 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit JSON instead of text",
     )
+    tail = trace_sub.add_parser(
+        "tail",
+        help="follow a live NDJSON trace/spool, one status line per "
+        "event",
+    )
+    tail.add_argument(
+        "target",
+        help="path to a spool/--trace file, or a job id with --url",
+    )
+    tail.add_argument(
+        "--url", default=None, metavar="URL",
+        help="routing-service base URL; TARGET is then a job id whose "
+        "event stream is followed over HTTP",
+    )
+    tail.add_argument(
+        "--once", action="store_true",
+        help="drain what is already in the file and exit (no follow)",
+    )
+    tail.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="stop following a file after S seconds without run_end "
+        "(default: 600)",
+    )
     heatmap = trace_sub.add_parser(
         "heatmap",
         help="channel-density snapshots at phase boundaries",
@@ -352,12 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--no-isolation", action="store_true",
-        help="run untraced jobs inline instead of in a killable "
-        "subprocess (faster startup, no crash isolation)",
+        help="run jobs inline instead of in a killable subprocess "
+        "(faster startup, no crash isolation; traced jobs stream "
+        "either way)",
     )
     serve.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-job wall-clock budget (untraced jobs only)",
+        help="per-job wall-clock budget (enforced by the pool)",
     )
     serve.add_argument(
         "--retries", type=int, default=0, metavar="N",
@@ -641,17 +665,34 @@ def _cmd_generate(args) -> int:
 
 
 def _read_trace_or_none(path: Path):
-    """Load a trace, or None after printing an exit-2 style message."""
-    from .obs import read_trace
+    """Load a trace tolerantly, or None after an exit-2 style message.
+
+    Malformed or truncated lines (a worker killed mid-write leaves at
+    most one) are warned about and skipped, never fatal — only a missing
+    or fully unreadable file is.
+    """
+    from .obs import read_spool
 
     try:
-        events = read_trace(path)
-    except (OSError, ValueError, KeyError) as exc:
+        events, bad_lines = read_spool(path)
+    except OSError as exc:
         print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
         return None
     if not events:
-        print(f"error: trace {path} contains no events", file=sys.stderr)
+        detail = (
+            f" ({bad_lines} malformed line(s))" if bad_lines else ""
+        )
+        print(
+            f"error: trace {path} contains no events{detail}",
+            file=sys.stderr,
+        )
         return None
+    if bad_lines:
+        print(
+            f"warning: skipped {bad_lines} malformed/truncated line(s) "
+            f"in {path} (worker crash or concurrent write?)",
+            file=sys.stderr,
+        )
     return events
 
 
@@ -662,7 +703,80 @@ def _cmd_trace(args) -> int:
         return _cmd_trace_explain(args)
     if args.trace_command == "heatmap":
         return _cmd_trace_heatmap(args)
+    if args.trace_command == "tail":
+        try:
+            return _cmd_trace_tail(args)
+        except BrokenPipeError:
+            # Downstream reader closed the pipe (`trace tail ... | head`)
+            # — a normal way to stop tailing.  Point stdout at devnull so
+            # the interpreter's shutdown flush doesn't complain.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     raise AssertionError("unreachable")
+
+
+def _cmd_trace_tail(args) -> int:
+    """Follow a live spool/trace file (or a service job's event stream)
+    and render one status line per event."""
+    import time as time_module
+
+    from .obs import SpoolTailer, format_event_line
+
+    if args.url:
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            for payload in client.events(str(args.target)):
+                print(format_event_line(payload), flush=True)
+        except ServiceError as exc:
+            return _input_error(f"job {args.target}: {exc.message}")
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    path = Path(args.target)
+    if args.once and not path.exists():
+        return _input_error(f"no trace file {path}")
+    tailer = SpoolTailer(path)
+    deadline = time_module.monotonic() + args.timeout
+    saw_end = False
+    try:
+        while True:
+            for event in tailer.poll():
+                print(format_event_line(event.to_dict()), flush=True)
+                if event.kind == "run_end":
+                    saw_end = True
+            if saw_end:
+                # channel_routed events land shortly after run_end;
+                # give the writer a beat, then the final drain below
+                # picks them up.
+                time_module.sleep(0.3)
+                break
+            if args.once:
+                break
+            if time_module.monotonic() >= deadline:
+                print(
+                    f"warning: no run_end after {args.timeout:.0f}s; "
+                    "stopping",
+                    file=sys.stderr,
+                )
+                break
+            time_module.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for event in tailer.finish():
+            print(format_event_line(event.to_dict()), flush=True)
+    if tailer.bad_lines:
+        print(
+            f"warning: skipped {tailer.bad_lines} malformed/truncated "
+            "line(s)",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_trace_summarize(args) -> int:

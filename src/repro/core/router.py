@@ -59,7 +59,7 @@ from ..obs.decisions import (
 )
 from ..obs.events import TRACE_SCHEMA_VERSION, TraceSink, Tracer
 from ..obs.metrics import MetricsRegistry
-from ..obs.profile import PhaseProfiler
+from ..obs.profile import HeartbeatEmitter, PhaseProfiler
 from ..routegraph.build import build_routing_graph
 from ..routegraph.graph import EdgeKind, RouteEdge, RoutingGraph
 from ..routegraph.tentative_tree import ESTIMATORS, TentativeTree
@@ -185,6 +185,11 @@ class GlobalRouter:
         self.tracer = Tracer.of(trace_sink)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        # Liveness pulses for long routes: one forced beat per phase
+        # entry, plus a work-count-throttled beat per deletion (see
+        # phase_scope/_delete_edge).  Count-based, so traces stay
+        # deterministic per job.
+        self.heartbeat = HeartbeatEmitter(self.tracer, self.metrics)
         self._m_deletions = self.metrics.counter("router.deletions")
         self._m_key_evals = self.metrics.counter("router.key_evals")
         self._m_key_recomputes = self.metrics.counter(
@@ -323,6 +328,7 @@ class GlobalRouter:
             tracer.emit(
                 "phase_start", phase=name, depth=len(self._phase_stack)
             )
+            self.heartbeat.beat(name, force=True)
         try:
             with self.profiler.phase(name) as node:
                 wall_before = node.wall_s
@@ -480,6 +486,7 @@ class GlobalRouter:
         self.engine = DensityEngine(
             self.placement.n_channels, max(1, self.placement.width_columns)
         )
+        self.heartbeat.peak_density_fn = self.engine.total_peak
         for state in self.states.values():
             self._register_density(state)
             self._refresh_tree(state)
@@ -865,6 +872,7 @@ class GlobalRouter:
             self._mirror_deletion(state, edge_id)
         self.deletions += 1
         self._m_deletions.inc()
+        self.heartbeat.beat(self._current_phase)
 
     def _apply_deletion(self, state: _NetState, edge_id: int) -> None:
         weight = density_weight(state.net)

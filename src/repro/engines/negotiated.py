@@ -195,6 +195,14 @@ class NegotiatedEngine(RoutingEngine):
                     overused_nets=len(overused_nets),
                     cap_relaxations=relaxations,
                 )
+                router.heartbeat.beat(
+                    "negotiate",
+                    force=True,
+                    iteration=self._iterations,
+                    pn=round(pn, 6),
+                    overused_columns=overused_cols,
+                    overused_nets=len(overused_nets),
+                )
             if not overused_nets:
                 break
             if best_cols is None or overused_cols < best_cols:

@@ -23,6 +23,14 @@ retry and reporting semantics, no subprocesses (and therefore no crash
 isolation and no timeout enforcement); it is the default for library
 callers like :func:`repro.bench.runner.run_suite` so single-threaded
 behaviour stays identical to the historical serial path.
+
+**Tracing across the pool** (``trace_sink=``): each worker writes its
+run's events to a per-attempt NDJSON spool (:mod:`~repro.obs.relay`);
+the parent tails every live spool from its existing poll loop and
+replays the events into ``trace_sink``, stamped with
+``run_id``/``job_id``/``worker`` context — so a traced job keeps full
+crash isolation and timeout enforcement.  Inline mode stamps and
+forwards directly.  Cache hits produce no events (nothing ran).
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,8 +48,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from ..bench.runner import RunRecord
 from ..errors import ConfigError
 from ..io.fsutil import atomic_write_text
+from ..obs.events import TraceSink
 from ..obs.manifest import build_run_manifest
-from ..obs.metrics import scoped_registry
+from ..obs.metrics import get_registry, scoped_registry
+from ..obs.relay import (
+    SPOOL_SUFFIX,
+    SpoolSink,
+    SpoolTailer,
+    StampSink,
+    stamp_event,
+)
 from .cache import ResultCache
 from .jobs import JobSpec, execute_job
 from .progress import ProgressEvent, SweepReporter
@@ -67,6 +85,7 @@ class JobOutcome:
     error: Optional[str] = None
     attempts: int = 0
     duration_s: float = 0.0   # wall seconds actually spent computing
+    spool_path: Optional[Path] = None  # last attempt's relay spool
 
     @property
     def ok(self) -> bool:
@@ -133,16 +152,38 @@ def sweep_id_of(jobs: Sequence[JobSpec]) -> str:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _worker_main(conn, runner: Runner, spec: JobSpec) -> None:
+def _worker_main(
+    conn,
+    runner: Runner,
+    spec: JobSpec,
+    spool_path: Optional[Path] = None,
+    decision_sampling: Optional[str] = None,
+) -> None:
     """Subprocess entry point: run one job, ship the result back.
 
     The job runs under a fresh scoped registry: a forked worker inherits
     whatever the parent accumulated in the process-global
     ``get_registry()``, which must not bleed into this job's counts.
+
+    With ``spool_path`` set (a traced sweep), the run's events are
+    appended to that NDJSON spool via a :class:`SpoolSink` — interleaved
+    with this registry's periodic ``metrics_snapshot`` records — and the
+    parent tails the file live.
     """
     try:
         with scoped_registry():
-            record = runner(spec)
+            if spool_path is not None:
+                sink = SpoolSink(spool_path, registry=get_registry())
+                try:
+                    record = runner(
+                        spec,
+                        trace_sink=sink,
+                        decision_sampling=decision_sampling,
+                    )
+                finally:
+                    sink.close()
+            else:
+                record = runner(spec)
         message = ("ok", record)
     except BaseException as exc:  # noqa: BLE001 — isolate *everything*
         message = ("error", f"{type(exc).__name__}: {exc}")
@@ -169,6 +210,7 @@ class _Task:
     attempt: int = 0          # completed attempts so far
     not_before: float = 0.0   # monotonic time gate (retry backoff)
     spent_s: float = 0.0      # wall seconds across failed attempts
+    spool_path: Optional[Path] = None  # latest attempt's relay spool
 
 
 @dataclass
@@ -178,6 +220,7 @@ class _Running:
     conn: Any
     started: float
     deadline: Optional[float]
+    tailer: Optional[SpoolTailer] = None
 
 
 class _Sweep:
@@ -195,6 +238,9 @@ class _Sweep:
         runner: Runner,
         on_event: Optional[EventConsumer],
         manifest_dir: Optional[Path],
+        trace_sink: Optional[TraceSink] = None,
+        spool_dir: Optional[Path] = None,
+        decision_sampling: Optional[str] = None,
     ):
         self.jobs = list(jobs)
         self.workers = workers
@@ -205,6 +251,9 @@ class _Sweep:
         self.runner = runner
         self.on_event = on_event
         self.manifest_dir = manifest_dir
+        self.trace_sink = trace_sink
+        self.spool_dir = spool_dir
+        self.decision_sampling = decision_sampling
         self.keys = [spec.cache_key() for spec in self.jobs]
         self.sweep_id = sweep_id_of(self.jobs)
         self.outcomes: List[Optional[JobOutcome]] = [None] * len(self.jobs)
@@ -273,6 +322,7 @@ class _Sweep:
                 record=record,
                 attempts=task.attempt + 1,
                 duration_s=task.spent_s + duration_s,
+                spool_path=task.spool_path,
             )
         )
 
@@ -297,6 +347,7 @@ class _Sweep:
                 error=error,
                 attempts=task.attempt,
                 duration_s=task.spent_s,
+                spool_path=task.spool_path,
             )
         )
         return None
@@ -330,7 +381,20 @@ def _run_inline(sweep: _Sweep, pending: List[_Task]) -> None:
             started = time.monotonic()
             try:
                 with scoped_registry():
-                    record = sweep.runner(task.spec)
+                    if sweep.trace_sink is not None:
+                        stamped = StampSink(
+                            sweep.trace_sink,
+                            run_id=sweep.sweep_id,
+                            job_id=task.spec.job_id,
+                            worker="inline",
+                        )
+                        record = sweep.runner(
+                            task.spec,
+                            trace_sink=stamped,
+                            decision_sampling=sweep.decision_sampling,
+                        )
+                    else:
+                        record = sweep.runner(task.spec)
             except Exception as exc:  # noqa: BLE001
                 duration = time.monotonic() - started
                 error = f"{type(exc).__name__}: {exc}"
@@ -377,9 +441,26 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
 
     def launch(task: _Task, now: float) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        spool_path = None
+        tailer = None
+        if sweep.trace_sink is not None:
+            # Fresh spool per attempt: a failed attempt's partial spool
+            # must never mix with its retry's events.
+            spool_path = sweep.spool_dir / (
+                f"{task.index:03d}-{task.spec.job_id}"
+                f".a{task.attempt + 1}{SPOOL_SUFFIX}"
+            )
+            task.spool_path = spool_path
+            tailer = SpoolTailer(spool_path)
         process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, sweep.runner, task.spec),
+            args=(
+                child_conn,
+                sweep.runner,
+                task.spec,
+                spool_path,
+                sweep.decision_sampling,
+            ),
             daemon=True,
         )
         sweep.emit("started", task, attempt=task.attempt + 1)
@@ -394,7 +475,26 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
             conn=parent_conn,
             started=now,
             deadline=deadline,
+            tailer=tailer,
         )
+
+    def relay(run: _Running, final: bool) -> None:
+        """Forward newly spooled events into the sweep's trace sink,
+        stamped with run/job/worker context.  ``final`` drains through
+        the last complete line (a worker killed mid-write leaves one
+        truncated line, counted and skipped by the tailer)."""
+        if run.tailer is None:
+            return
+        events = run.tailer.finish() if final else run.tailer.poll()
+        for event in events:
+            sweep.trace_sink.emit(
+                stamp_event(
+                    event,
+                    run_id=sweep.sweep_id,
+                    job_id=run.task.spec.job_id,
+                    worker=run.process.pid,
+                )
+            )
 
     try:
         while queue or running:
@@ -410,6 +510,7 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
             for index in list(running):
                 run = running[index]
                 task = run.task
+                relay(run, final=False)
                 message = None
                 died = False
                 if run.conn.poll():
@@ -433,6 +534,7 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
                     progressed = True
                     del running[index]
                     _reap(run)
+                    relay(run, final=True)
                     status, payload = message
                     if status == "ok":
                         sweep.job_succeeded(task, payload, duration)
@@ -447,6 +549,7 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
                     del running[index]
                     exitcode = run.process.exitcode
                     _reap(run)
+                    relay(run, final=True)
                     error = f"worker died (exit code {exitcode})"
                     requeued = sweep.job_attempt_failed(
                         task, error, duration, now
@@ -458,6 +561,7 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
                     del running[index]
                     run.process.terminate()
                     _reap(run)
+                    relay(run, final=True)
                     error = f"timeout after {sweep.timeout_s:g}s"
                     requeued = sweep.job_attempt_failed(
                         task, error, duration, now
@@ -475,6 +579,8 @@ def _run_pool(sweep: _Sweep, pending: List[_Task]) -> None:
                 run.process.terminate()
         for run in running.values():
             _reap(run)
+            if run.tailer is not None:
+                run.tailer.close()
 
 
 # ----------------------------------------------------------------------
@@ -492,6 +598,9 @@ def run_batch(
     runner: Runner = execute_job,
     on_event: Optional[EventConsumer] = None,
     manifest_dir: Optional[PathLike] = None,
+    trace_sink: Optional[TraceSink] = None,
+    trace_spool_dir: Optional[PathLike] = None,
+    decision_sampling: Optional[str] = None,
 ) -> SweepResult:
     """Execute ``jobs`` and return one :class:`JobOutcome` per job.
 
@@ -511,11 +620,24 @@ def run_batch(
         read_cache: set ``False`` to force recomputation (results still
             land in the cache for the next run).
         runner: the callable executed for each spec (tests inject fault
-            runners here); must be importable from a subprocess.
+            runners here); must be importable from a subprocess.  With
+            ``trace_sink`` set it is called as ``runner(spec,
+            trace_sink=..., decision_sampling=...)`` like
+            :func:`~repro.exec.jobs.execute_job`.
         on_event: progress callback (see :mod:`~repro.exec.progress`).
         manifest_dir: when given, every successful job writes a run
             manifest there and the sweep writes a ``sweep-<id>``
             rollup manifest.
+        trace_sink: receives every job's trace events, stamped with
+            ``run_id``/``job_id``/``worker`` context.  With
+            ``workers >= 1`` the events are relayed live out of the
+            worker subprocesses through NDJSON spools (plus periodic
+            ``metrics_snapshot`` control records); cache hits emit
+            nothing.  The sink is *not* closed by the sweep.
+        trace_spool_dir: directory for the relay spools.  Defaults to a
+            temporary directory that is removed when the sweep ends;
+            pass an explicit directory to keep the spools (their paths
+            land in :attr:`JobOutcome.spool_path`).
     """
     if workers < 0:
         raise ConfigError("run_batch: workers must be >= 0")
@@ -523,6 +645,16 @@ def run_batch(
         raise ConfigError("run_batch: retries must be >= 0")
     if backoff_s < 0:
         raise ConfigError("run_batch: backoff_s must be >= 0")
+
+    spool_dir: Optional[Path] = None
+    spool_dir_is_temp = False
+    if trace_sink is not None and workers >= 1:
+        if trace_spool_dir is not None:
+            spool_dir = Path(trace_spool_dir)
+            spool_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            spool_dir = Path(tempfile.mkdtemp(prefix="repro-spools-"))
+            spool_dir_is_temp = True
 
     sweep = _Sweep(
         jobs,
@@ -534,6 +666,9 @@ def run_batch(
         runner=runner,
         on_event=on_event,
         manifest_dir=Path(manifest_dir) if manifest_dir else None,
+        trace_sink=trace_sink,
+        spool_dir=spool_dir,
+        decision_sampling=decision_sampling,
     )
     started = time.monotonic()
 
@@ -558,10 +693,14 @@ def run_batch(
     sweep.write_checkpoint()
 
     if pending:
-        if workers == 0:
-            _run_inline(sweep, pending)
-        else:
-            _run_pool(sweep, pending)
+        try:
+            if workers == 0:
+                _run_inline(sweep, pending)
+            else:
+                _run_pool(sweep, pending)
+        finally:
+            if spool_dir_is_temp:
+                shutil.rmtree(spool_dir, ignore_errors=True)
 
     wall = time.monotonic() - started
     result = SweepResult(

@@ -4,9 +4,12 @@ The subsystem the router's per-iteration telemetry flows through:
 
 * :mod:`~repro.obs.events` — typed trace events, sinks (JSONL, memory
   ring buffer, null), and the :class:`Tracer` front-end;
-* :mod:`~repro.obs.metrics` — counters/gauges/histograms with timing
-  sugar and dict export;
-* :mod:`~repro.obs.profile` — hierarchical per-phase wall/CPU profiling;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms (with
+  p50/p90/p99), Prometheus text exposition, fleet-merge helpers;
+* :mod:`~repro.obs.profile` — hierarchical per-phase wall/CPU profiling
+  and the :class:`HeartbeatEmitter` behind ``progress_heartbeat``;
+* :mod:`~repro.obs.relay` — cross-process NDJSON spools, tailers, and
+  context stamping (how pool workers' events reach the parent);
 * :mod:`~repro.obs.manifest` — machine-readable run manifests;
 * :mod:`~repro.obs.summarize` — trace-file analysis for the CLI.
 
@@ -41,9 +44,21 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_flat,
+    prometheus_exposition,
     scoped_registry,
 )
-from .profile import PhaseNode, PhaseProfiler
+from .profile import HeartbeatEmitter, PhaseNode, PhaseProfiler
+from .relay import (
+    CallbackSink,
+    SPOOL_SUFFIX,
+    SpoolSink,
+    SpoolTailer,
+    StampSink,
+    format_event_line,
+    read_spool,
+    stamp_event,
+)
 from .summarize import partition_events, summarize_trace
 # Imported last: decisions lazily reaches into repro.core, which itself
 # imports the modules above.
@@ -55,12 +70,14 @@ from .decisions import (
 )
 
 __all__ = [
+    "CallbackSink",
     "Counter",
     "DECISION_SAMPLING_DEFAULT",
     "DecisionPolicy",
     "EVENT_KINDS",
     "FanoutSink",
     "Gauge",
+    "HeartbeatEmitter",
     "Histogram",
     "JsonlTraceSink",
     "MANIFEST_SCHEMA",
@@ -71,7 +88,11 @@ __all__ = [
     "PhaseNode",
     "PhaseProfiler",
     "RunManifest",
+    "SPOOL_SUFFIX",
     "SelectionOutcome",
+    "SpoolSink",
+    "SpoolTailer",
+    "StampSink",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "TraceSink",
@@ -80,10 +101,15 @@ __all__ = [
     "decision_payload",
     "describe_source",
     "events_to_jsonl",
+    "format_event_line",
     "get_registry",
+    "merge_flat",
     "partition_events",
+    "prometheus_exposition",
     "read_manifest",
+    "read_spool",
     "read_trace",
     "scoped_registry",
+    "stamp_event",
     "summarize_trace",
 ]

@@ -65,6 +65,27 @@ schema):
     ``overused_nets`` (both after the round), ``cap_relaxations``
     (channels whose capacity budget was lifted; non-zero only on the
     final round).
+``progress_heartbeat``
+    Periodic liveness pulse during long routes (at least one per phase,
+    then every N deletions / every negotiation iteration): ``phase``,
+    ``deletions``, ``key_evals``, ``reroutes``, ``peak_density``, plus
+    loop-specific extras (``iteration``, ``overused_columns``, ``pn``
+    from the negotiated engine).  Triggered by deterministic work
+    counts, never by wall time, so two runs of the same job produce the
+    same heartbeat sequence.
+``metrics_snapshot``
+    Transport-layer control record written by the cross-process relay
+    (see :mod:`~repro.obs.relay`): the producing worker's full metrics
+    registry snapshot under ``metrics``, so a parent can show live
+    per-job metrics without waiting for the final record.  Carries
+    ``seq=0`` (it is fabricated by the spool sink, not the run's
+    tracer) and is interval-based, so it is *excluded* from event
+    replay buffers and parity comparisons.
+
+Cross-process context (schema 6): events relayed out of a pool worker
+are stamped with ``run_id`` (the sweep id), ``job_id``, and ``worker``
+(child pid, or ``"inline"`` for workers=0) by the parent before fanout,
+so a multiplexed stream stays attributable per job.
 
 Consumers must tolerate kinds they do not know (a newer producer):
 skip them, never raise.  :data:`TRACE_SCHEMA_VERSION` is carried in the
@@ -97,14 +118,18 @@ EVENT_KINDS = (
     "channel_routed",
     "cache_corrupt",
     "negotiation_iteration",
+    "progress_heartbeat",
+    "metrics_snapshot",
 )
 
-TRACE_SCHEMA_VERSION = 5
+TRACE_SCHEMA_VERSION = 6
 """Bumped whenever the event vocabulary grows or a payload changes
-shape (v5: ``density_snapshot`` profiles are downsampled past 512
-columns and carry a ``column_stride`` field).  Readers warn-and-skip
-unknown kinds rather than fail, so older tools keep working on newer
-traces."""
+shape (v6: ``progress_heartbeat`` + ``metrics_snapshot`` kinds and the
+relay context fields ``run_id``/``job_id``/``worker`` on events that
+crossed a process boundary; v5: ``density_snapshot`` profiles are
+downsampled past 512 columns and carry a ``column_stride`` field).
+Readers warn-and-skip unknown kinds rather than fail, so older tools
+keep working on newer traces."""
 
 _RESERVED_KEYS = ("seq", "t", "kind")
 
@@ -266,11 +291,18 @@ class FanoutSink(TraceSink):
 
 class JsonlTraceSink(TraceSink):
     """Appends one JSON object per event to a file (the trace format the
-    CLI's ``--trace`` flag and ``trace summarize`` subcommand speak)."""
+    CLI's ``--trace`` flag and ``trace summarize`` subcommand speak).
+
+    Line-buffered so every event reaches the filesystem as soon as it is
+    emitted: ``repro-router trace tail`` can follow a live ``--trace``
+    file without waiting for block-buffer flushes.
+    """
 
     def __init__(self, path: PathLike):
         self.path = Path(path)
-        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self._fh: Optional[IO[str]] = self.path.open(
+            "w", encoding="utf-8", buffering=1
+        )
         self.emitted = 0
 
     def emit(self, event: TraceEvent) -> None:

@@ -12,9 +12,10 @@ one attribute add, so instruments can live on hot paths.
 from __future__ import annotations
 
 import functools
+import math
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
 class Counter:
@@ -44,13 +45,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max/mean).
+    """Streaming summary of observed values with percentile estimates.
 
     Deliberately no buckets: the router's distributions are inspected
-    through traces; the registry only needs cheap aggregates.
+    through traces; the registry needs cheap aggregates plus the
+    p50/p90/p99 that operators actually read off ``/metrics``.  The
+    percentiles come from a bounded ring of the most recent
+    ``SAMPLE_CAP`` observations (deterministic, allocation-light), so
+    for long-running instruments they describe recent behaviour rather
+    than all of history — which is what a live endpoint wants anyway.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    #: Most-recent observations kept for percentile estimation.
+    SAMPLE_CAP = 2048
 
     def __init__(self, name: str):
         self.name = name
@@ -58,6 +67,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: List[float] = []
 
     def record(self, value: float) -> None:
         self.count += 1
@@ -66,21 +76,39 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        samples = self._samples
+        if len(samples) < self.SAMPLE_CAP:
+            samples.append(value)
+        else:
+            samples[(self.count - 1) % self.SAMPLE_CAP] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the sample
+        window; 0.0 when nothing was recorded."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, min(len(ordered),
+                          math.ceil(q / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
     def summary(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
         }
 
 
@@ -196,7 +224,110 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Fleet aggregation + Prometheus export
+# ----------------------------------------------------------------------
+_UNMERGEABLE_STATS = (".mean", ".p50", ".p90", ".p99")
+
+
+def merge_flat(target: Dict[str, float], flat: Dict[str, float]) -> None:
+    """Fold one run's :meth:`MetricsRegistry.flat` export into ``target``.
+
+    The service uses this to aggregate per-job router metrics into fleet
+    totals: counters and histogram ``.count``/``.total`` sum, ``.min``
+    and ``.max`` take the extreme, and per-run means/percentiles are
+    dropped (they do not compose across runs — recompute the mean from
+    the merged total/count, and read live percentiles off the service's
+    own histograms instead).
+    """
+    for name, value in flat.items():
+        if name.endswith(_UNMERGEABLE_STATS):
+            continue
+        if name.endswith(".min"):
+            previous = target.get(name)
+            target[name] = value if previous is None else min(previous,
+                                                              value)
+        elif name.endswith(".max"):
+            previous = target.get(name)
+            target[name] = value if previous is None else max(previous,
+                                                              value)
+        else:
+            target[name] = target.get(name, 0.0) + value
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """Dotted metric name -> Prometheus-legal ``namespace_a_b_c``."""
+    cleaned = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    full = f"{namespace}_{cleaned}" if namespace else cleaned
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_value(value: float) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_exposition(
+    registry: MetricsRegistry,
+    *,
+    extra_flat: Optional[Dict[str, float]] = None,
+    namespace: str = "repro",
+) -> str:
+    """Render a registry (plus optional pre-flattened extras) in the
+    Prometheus text exposition format (version 0.0.4).
+
+    Counters become ``counter`` families, gauges ``gauge``, histograms
+    ``summary`` families with ``quantile`` labels for p50/p90/p99 plus
+    the conventional ``_sum``/``_count`` children.  ``extra_flat``
+    entries (fleet-merged per-job metrics, cache occupancy, queue depth)
+    are typed ``gauge`` — the reader cannot tell a merged counter from a
+    level, and a gauge is the honest default.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str) -> str:
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} {kind}")
+        return prom
+
+    for name in sorted(registry._counters):
+        prom = family(name, "counter")
+        lines.append(
+            f"{prom} {_prom_value(registry._counters[name].value)}"
+        )
+    for name in sorted(registry._gauges):
+        prom = family(name, "gauge")
+        lines.append(
+            f"{prom} {_prom_value(registry._gauges[name].value)}"
+        )
+    for name in sorted(registry._histograms):
+        histogram = registry._histograms[name]
+        stats = histogram.summary()
+        prom = family(name, "summary")
+        for q, stat in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            lines.append(
+                f'{prom}{{quantile="{q}"}} {_prom_value(stats[stat])}'
+            )
+        lines.append(f"{prom}_sum {_prom_value(stats['total'])}")
+        lines.append(f"{prom}_count {_prom_value(stats['count'])}")
+    for name in sorted(extra_flat or {}):
+        prom = family(name, "gauge")
+        lines.append(f"{prom} {_prom_value((extra_flat or {})[name])}")
+    return "\n".join(lines) + "\n"
+
+
 _GLOBAL_REGISTRY: Optional[MetricsRegistry] = None
+_SCOPE_DEPTH = 0
 
 
 def get_registry() -> MetricsRegistry:
@@ -205,6 +336,17 @@ def get_registry() -> MetricsRegistry:
     if _GLOBAL_REGISTRY is None:
         _GLOBAL_REGISTRY = MetricsRegistry()
     return _GLOBAL_REGISTRY
+
+
+def current_scoped_registry() -> Optional[MetricsRegistry]:
+    """The active job-scoped registry, or ``None`` outside any scope.
+
+    Lets a run publish its counters into the batch engine's per-job
+    scope (where the relay's ``metrics_snapshot`` records read them)
+    without ever leaking into the true process-global registry when no
+    scope is active.
+    """
+    return get_registry() if _SCOPE_DEPTH > 0 else None
 
 
 @contextmanager
@@ -220,10 +362,12 @@ def scoped_registry(
     forked workers (which inherit the parent's global registry state).
     The previous registry is restored on exit, even on error.
     """
-    global _GLOBAL_REGISTRY
+    global _GLOBAL_REGISTRY, _SCOPE_DEPTH
     previous = _GLOBAL_REGISTRY
     _GLOBAL_REGISTRY = registry if registry is not None else MetricsRegistry()
+    _SCOPE_DEPTH += 1
     try:
         yield _GLOBAL_REGISTRY
     finally:
         _GLOBAL_REGISTRY = previous
+        _SCOPE_DEPTH -= 1

@@ -24,6 +24,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from .metrics import MetricsRegistry
+
 
 class PhaseNode:
     """Accumulated timings of one phase (and its children)."""
@@ -131,3 +133,71 @@ class PhaseProfiler:
         for child in self.root.children.values():
             walk(child, 0)
         return "\n".join(lines)
+
+
+class HeartbeatEmitter:
+    """Emits ``progress_heartbeat`` events during long routing phases.
+
+    A silent two-minute X2 route becomes a readable stream: the router
+    forces one beat at every phase entry (so even instant phases appear)
+    and asks for one per deletion / negotiation iteration, which the
+    emitter throttles to every ``every_deletions`` units of work.
+
+    Throttling is keyed on the ``router.deletions`` counter — a
+    deterministic work count, never wall time — so two runs of the same
+    job emit bit-identical heartbeat sequences and traced service
+    streams stay comparable with local ``--trace`` files.
+    """
+
+    __slots__ = ("tracer", "metrics", "every_deletions", "enabled",
+                 "beats", "peak_density_fn", "_next_at", "_m_deletions",
+                 "_m_key_evals", "_m_reroutes")
+
+    def __init__(
+        self,
+        tracer: Any,
+        metrics: MetricsRegistry,
+        *,
+        every_deletions: int = 25,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.every_deletions = max(1, every_deletions)
+        self.enabled = bool(getattr(tracer, "enabled", False))
+        self.beats = 0
+        #: Optional zero-arg callable returning the current chip-wide
+        #: peak density; only invoked when a beat actually fires.
+        self.peak_density_fn: Optional[Any] = None
+        self._next_at = 0
+        self._m_deletions = metrics.counter("router.deletions")
+        self._m_key_evals = metrics.counter("router.key_evals")
+        self._m_reroutes = metrics.counter("router.reroutes")
+
+    def beat(
+        self, phase: str, *, force: bool = False, **extra: Any
+    ) -> None:
+        """Maybe emit one heartbeat for ``phase``.
+
+        ``force`` bypasses the deletion-count throttle (phase entries,
+        negotiation iterations); ``extra`` fields ride along verbatim.
+        """
+        if not self.enabled:
+            return
+        deletions = self._m_deletions.value
+        if not force and deletions < self._next_at:
+            return
+        self._next_at = deletions + self.every_deletions
+        self.beats += 1
+        if self.peak_density_fn is not None and "peak_density" not in extra:
+            try:
+                extra["peak_density"] = int(self.peak_density_fn())
+            except Exception:
+                pass  # a beat must never fail the run
+        self.tracer.emit(
+            "progress_heartbeat",
+            phase=phase,
+            deletions=deletions,
+            key_evals=self._m_key_evals.value,
+            reroutes=self._m_reroutes.value,
+            **extra,
+        )

@@ -1,0 +1,328 @@
+"""Cross-process telemetry relay: NDJSON spools, tailers, stamping.
+
+The pool's workers are separate OS processes, so a
+:class:`~repro.obs.events.TraceSink` living in the parent cannot see
+their events directly.  The relay bridges the boundary with files:
+
+* the **worker** attaches a :class:`SpoolSink` to its run — every event
+  is appended to a per-attempt NDJSON *spool* as one line (via
+  :func:`~repro.io.fsutil.open_append`, so each record is a single
+  contiguous ``O_APPEND`` write), interleaved with periodic
+  ``metrics_snapshot`` control records carrying the worker's live
+  metrics registry;
+* the **parent** polls each running task's spool with a
+  :class:`SpoolTailer` from its existing scheduler loop — only complete
+  newline-terminated lines are consumed, so a worker killed mid-write
+  costs at most one truncated final line, which is counted and skipped,
+  never raised;
+* every relayed event is **stamped** with ``run_id``/``job_id``/
+  ``worker`` context (:func:`stamp_event`) before it reaches the
+  parent's sink, so a multiplexed stream (many jobs fanning into one
+  :class:`~repro.obs.events.FanoutSink`) stays attributable.
+
+The same tolerant line reader backs ``repro-router trace tail`` (follow
+a live spool or ``--trace`` file) and the warn-and-skip path of
+``trace summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+
+from .events import TraceEvent, TraceSink
+from .metrics import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+#: File suffix of relay spools (one per job attempt).
+SPOOL_SUFFIX = ".ndjson"
+
+#: Default seconds between ``metrics_snapshot`` control records.
+SNAPSHOT_INTERVAL_S = 0.5
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class SpoolSink(TraceSink):
+    """Appends one NDJSON line per event to a spool file (worker side).
+
+    With a ``registry`` attached, a ``metrics_snapshot`` control record
+    (the registry's full snapshot under ``metrics``) is interleaved at
+    most every ``snapshot_interval_s`` seconds — piggybacked on event
+    emission, so an idle run writes nothing — plus once at close, so the
+    parent always sees the final counts.  Snapshots carry ``seq=0``:
+    they are fabricated here, not part of the run's event sequence.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        snapshot_interval_s: float = SNAPSHOT_INTERVAL_S,
+    ):
+        # Imported here, not at module scope: ``repro.io``'s package
+        # init reaches back into modules that import ``repro.obs``.
+        from ..io.fsutil import open_append
+
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = open_append(self.path)
+        self.emitted = 0
+        self.snapshots = 0
+        self.registry = registry
+        self.snapshot_interval_s = snapshot_interval_s
+        self._t0 = time.perf_counter()
+        self._last_snapshot_t = self._t0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"spool sink {self.path} is closed")
+        self._fh.write(event.to_json() + "\n")
+        self.emitted += 1
+        if self.registry is not None:
+            now = time.perf_counter()
+            if now - self._last_snapshot_t >= self.snapshot_interval_s:
+                self._write_snapshot(now)
+
+    def _write_snapshot(self, now: float) -> None:
+        self._last_snapshot_t = now
+        record = TraceEvent(
+            0,
+            now - self._t0,
+            "metrics_snapshot",
+            {"metrics": self.registry.snapshot()},
+        )
+        self._fh.write(record.to_json() + "\n")
+        self.snapshots += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        if self.registry is not None:
+            self._write_snapshot(time.perf_counter())
+        self._fh.close()
+        self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class SpoolTailer:
+    """Incremental tolerant reader of a (possibly still growing) spool.
+
+    ``poll()`` returns the events of every *complete* line appended
+    since the last call; a partial trailing line stays buffered until
+    its newline arrives.  Lines that fail to parse are counted in
+    ``bad_lines`` and skipped — a truncated or corrupt spool degrades,
+    it never raises.  ``finish()`` drains once more and flags a
+    dangling partial line (the signature of a worker killed mid-write)
+    in ``truncated``.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.bad_lines = 0
+        self.truncated = False
+        self._fh: Optional[IO[str]] = None
+        self._buf = ""
+
+    def poll(self) -> List[TraceEvent]:
+        if self._fh is None:
+            try:
+                self._fh = self.path.open("r", encoding="utf-8")
+            except (FileNotFoundError, OSError):
+                return []  # the worker has not created it yet
+        self._buf += self._fh.read()
+        events: List[TraceEvent] = []
+        while True:
+            line, sep, rest = self._buf.partition("\n")
+            if not sep:
+                break
+            self._buf = rest
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except Exception:
+                self.bad_lines += 1
+        return events
+
+    def finish(self) -> List[TraceEvent]:
+        """Final drain: remaining complete lines, then close."""
+        events = self.poll()
+        if self._buf.strip():
+            self.bad_lines += 1
+            self.truncated = True
+            self._buf = ""
+        self.close()
+        return events
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_spool(path: PathLike) -> Tuple[List[TraceEvent], int]:
+    """Read a complete spool (or any JSONL trace) tolerantly.
+
+    Returns ``(events, bad_lines)`` where ``bad_lines`` counts skipped
+    malformed or truncated lines.  Raises :class:`FileNotFoundError`
+    only when the file itself is missing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no trace file {path}")
+    tailer = SpoolTailer(path)
+    events = tailer.finish()
+    return events, tailer.bad_lines
+
+
+# ----------------------------------------------------------------------
+# Context stamping
+# ----------------------------------------------------------------------
+def stamp_event(
+    event: TraceEvent,
+    *,
+    run_id: Optional[str] = None,
+    job_id: Optional[str] = None,
+    worker: Optional[Any] = None,
+) -> TraceEvent:
+    """A copy of ``event`` with relay context merged into its payload.
+
+    ``seq``/``t``/``kind`` are preserved: context says *where* the event
+    came from, never rewrites what happened.
+    """
+    data = dict(event.data)
+    if run_id is not None:
+        data["run_id"] = run_id
+    if job_id is not None:
+        data["job_id"] = job_id
+    if worker is not None:
+        data["worker"] = worker
+    return TraceEvent(event.seq, event.t_s, event.kind, data)
+
+
+class StampSink(TraceSink):
+    """Wraps a sink, stamping relay context onto every event.
+
+    Used for the pool's inline (``workers=0``) path, where events never
+    cross a process boundary but must carry the same schema-6 context as
+    relayed ones.  ``close()`` is a no-op on purpose: the downstream
+    sink outlives the single job this stamp describes.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        *,
+        run_id: Optional[str] = None,
+        job_id: Optional[str] = None,
+        worker: Optional[Any] = None,
+    ):
+        self.sink = sink
+        self.run_id = run_id
+        self.job_id = job_id
+        self.worker = worker
+
+    def emit(self, event: TraceEvent) -> None:
+        self.sink.emit(
+            stamp_event(
+                event,
+                run_id=self.run_id,
+                job_id=self.job_id,
+                worker=self.worker,
+            )
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class CallbackSink(TraceSink):
+    """Hands each event's flat payload dict to a callable.
+
+    The service attaches one per traced job: the callback crosses the
+    thread boundary into the event loop (``call_soon_threadsafe``),
+    while ``events`` keeps the producer side's own complete copy for
+    post-run analysis (explain attribution).  A raising callback is
+    swallowed after the local buffer is updated — losing a live
+    subscriber must never fail the producing run.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        callback: Callable[[Dict[str, Any]], None],
+        *,
+        keep_events: bool = True,
+    ):
+        self.callback = callback
+        self.events: List[Dict[str, Any]] = []
+        self.keep_events = keep_events
+
+    def emit(self, event: TraceEvent) -> None:
+        payload = event.to_dict()
+        if self.keep_events:
+            self.events.append(payload)
+        try:
+            self.callback(payload)
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Rendering (``trace tail``)
+# ----------------------------------------------------------------------
+_TAIL_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "run_start": ("circuit", "nets", "constraints", "engine"),
+    "run_end": ("deletions", "reroutes", "violations", "wall_s"),
+    "phase_start": ("phase",),
+    "phase_end": ("phase", "wall_s"),
+    "progress_heartbeat": (
+        "phase", "deletions", "key_evals", "reroutes", "peak_density",
+        "iteration", "overused_columns", "pn",
+    ),
+    "edge_deleted": ("net", "channel", "criterion", "phase"),
+    "negotiation_iteration": (
+        "iteration", "pn", "rerouted", "overused_columns",
+        "overused_nets",
+    ),
+    "violation_found": ("constraint", "margin_ps"),
+    "violation_cleared": ("constraint",),
+    "reroute": ("net", "mode", "kept"),
+    "channel_routed": ("channel", "tracks"),
+}
+
+_CONTEXT_KEYS = ("seq", "t", "kind", "run_id", "job_id", "worker")
+
+
+def format_event_line(payload: Dict[str, Any]) -> str:
+    """One human-readable status line per event (``trace tail``)."""
+    t = float(payload.get("t", 0.0))
+    kind = str(payload.get("kind", "?"))
+    job_id = payload.get("job_id")
+    prefix = f"[{job_id}] " if job_id else ""
+    if kind == "metrics_snapshot":
+        n = len(payload.get("metrics") or {})
+        body = f"{n} metric(s)"
+    else:
+        keys = _TAIL_FIELDS.get(kind)
+        if keys is None:
+            keys = tuple(
+                key for key in payload if key not in _CONTEXT_KEYS
+            )[:6]
+        body = " ".join(
+            f"{key}={payload[key]}" for key in keys if key in payload
+        )
+    return f"{t:8.3f}s {prefix}{kind:<20s} {body}".rstrip()

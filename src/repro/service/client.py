@@ -153,6 +153,23 @@ class ServiceClient:
         finally:
             conn.close()
 
+    def job_metrics(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/{id}/metrics`` — live (relayed) + final metrics."""
+        return self._request("GET", f"/jobs/{job_id}/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition (not JSON)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status != 200:
+                raise ServiceError(response.status, body.strip())
+            return body
+        finally:
+            conn.close()
+
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 

@@ -17,17 +17,26 @@ because the point is the serving semantics, not a web framework:
   result payload (``202`` while pending, ``500`` for a failed job).
 * ``GET /jobs/{id}/events`` — the run's obs trace as NDJSON: buffered
   events replayed first, then live events until the job finishes.  The
-  lines are exactly the JSONL trace format ``--trace`` writes.
+  lines are exactly the JSONL trace format ``--trace`` writes (schema 6:
+  each event carries ``run_id``/``job_id``/``worker`` relay context).
+* ``GET /jobs/{id}/metrics`` — the job's live metrics snapshot (relayed
+  out of the worker mid-run), last heartbeat, and final record metrics.
 * ``GET /healthz``, ``GET /stats`` — liveness and the service metrics
   (``service.*`` counters/gauges), queue depth, cache occupancy.
+* ``GET /metrics`` — Prometheus text exposition: ``service.*``
+  counters/gauges/histograms (with p50/p90/p99 quantiles), fleet-merged
+  per-job ``router.*``/``negotiate.*`` counters (``jobs.*`` prefix),
+  cache occupancy, queue depth.
 
 Execution rides the PR 2 batch engine: every job attempt goes through
 :func:`~repro.exec.pool.run_batch` (crash isolation, per-job timeout,
 bounded retries, cache write-through) from a worker thread, one thread
-per concurrent job.  Traced jobs run inline (``workers=0``) so their
-event stream can be bridged across the thread boundary into the event
-loop; untraced jobs run in a killable subprocess when
-``ServiceConfig.isolation`` is on.
+per concurrent job.  Traced jobs run through the exact same pool path:
+the worker subprocess spools its events to disk, the pool tails and
+stamps them (:mod:`~repro.obs.relay`), and a per-job
+:class:`~repro.obs.relay.CallbackSink` forwards each one across the
+thread boundary into the event loop — so watching a run no longer
+trades away isolation or timeouts.
 
 Graceful shutdown drains: submissions start failing with ``503``,
 in-flight jobs run to completion, and the still-queued backlog is
@@ -54,8 +63,13 @@ from ..exec.cache import ResultCache
 from ..exec.jobs import JobSpec, execute_job
 from ..exec.pool import run_batch
 from ..io.json_report import run_record_to_dict
-from ..obs.events import TraceEvent, TraceSink
-from ..obs.metrics import MetricsRegistry
+from ..obs.events import TraceEvent
+from ..obs.metrics import (
+    MetricsRegistry,
+    merge_flat,
+    prometheus_exposition,
+)
+from ..obs.relay import CallbackSink
 from .api import (
     ApiError,
     JobRequest,
@@ -115,6 +129,10 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
     subscribers: List[asyncio.Queue] = field(default_factory=list)
+    # Live telemetry (loop-thread only): the worker's latest relayed
+    # metrics_snapshot and the most recent progress_heartbeat payload.
+    metrics_live: Dict[str, Any] = field(default_factory=dict)
+    last_heartbeat: Optional[Dict[str, Any]] = None
 
     @property
     def terminal(self) -> bool:
@@ -138,36 +156,8 @@ class Job:
             "finished_t": self.finished_t,
             "error": self.error,
             "events_buffered": len(self.events),
+            "phase": (self.last_heartbeat or {}).get("phase"),
         }
-
-
-class _LoopBridgeSink(TraceSink):
-    """Trace sink handed to a routing run inside a worker thread.
-
-    Every event is (a) buffered locally — the producer thread's own
-    complete copy, used for post-run analysis like explain attribution —
-    and (b) forwarded into the event loop thread, where it lands in the
-    job's replay buffer and every live NDJSON subscriber queue.
-    """
-
-    enabled = True
-
-    def __init__(
-        self,
-        loop: asyncio.AbstractEventLoop,
-        publish: Callable[[Dict[str, Any]], None],
-    ):
-        self.loop = loop
-        self.publish = publish
-        self.events: List[Dict[str, Any]] = []
-
-    def emit(self, event: TraceEvent) -> None:
-        payload = event.to_dict()
-        self.events.append(payload)
-        try:
-            self.loop.call_soon_threadsafe(self.publish, payload)
-        except RuntimeError:
-            pass  # loop shut down mid-run; keep the local buffer
 
 
 class RoutingService:
@@ -195,6 +185,11 @@ class RoutingService:
         )
         self.jobs: Dict[str, Job] = {}          # by public id
         self.jobs_by_key: Dict[str, Job] = {}   # latest job per job key
+        # Fleet totals: every computed job's final record.metrics merged
+        # (merge_flat) — the router.*/negotiate.* families on /metrics.
+        # Written from worker threads, read from the loop: lock-guarded.
+        self.fleet_metrics: Dict[str, float] = {}
+        self._fleet_lock = threading.Lock()
         self.queue = PriorityJobQueue()
         self.port: Optional[int] = None
         self.started_t: Optional[float] = None
@@ -455,14 +450,13 @@ class RoutingService:
     ) -> Tuple[Dict[str, Any], int, int]:
         """Run every spec of ``job`` on the batch engine (worker
         thread); returns ``(result_payload, computed, cache_hits)``."""
-        sink: Optional[_LoopBridgeSink] = None
+        sink: Optional[CallbackSink] = None
         if job.request.traced:
             assert self._loop is not None
-            sink = _LoopBridgeSink(
-                self._loop, functools.partial(self._publish_event, job)
-            )
+            sink = CallbackSink(self._make_publisher(job))
         computed = hits = 0
         records: List[RunRecord] = []
+        fresh: List[RunRecord] = []
         for spec in job.specs:
             outcome = self._run_one(job, spec, sink)
             if outcome.status == "failed":
@@ -472,33 +466,52 @@ class RoutingService:
                 )
             if outcome.status == "ok":
                 computed += 1
+                fresh.append(outcome.record)
             else:
                 hits += 1
             records.append(outcome.record)
+        # Fleet aggregation: only freshly computed records (a cache hit
+        # repeats no routing work, so it must not inflate the totals).
+        with self._fleet_lock:
+            for record in fresh:
+                if record is not None and record.metrics:
+                    merge_flat(self.fleet_metrics, record.metrics)
         return self._result_payload(job, records, sink), computed, hits
+
+    def _make_publisher(
+        self, job: Job
+    ) -> Callable[[Dict[str, Any]], None]:
+        """A thread-safe bridge into the loop for one job's events."""
+        loop = self._loop
+        publish = functools.partial(self._publish_event, job)
+
+        def forward(payload: Dict[str, Any]) -> None:
+            try:
+                loop.call_soon_threadsafe(publish, payload)
+            except RuntimeError:
+                pass  # loop shut down mid-run; keep the local buffer
+
+        return forward
 
     def _run_one(self, job: Job, spec: JobSpec, sink):
         """One spec through ``run_batch`` — the pool's retry, cache
-        write-through and (untraced) crash-isolation semantics apply."""
+        write-through and crash-isolation/timeout semantics apply to
+        traced and untraced jobs alike.  A traced run skips the read
+        side of the cache (a cached record has no events to stream);
+        its events cross the process boundary via the relay spool."""
         if sink is not None:
-            sampling = (
-                "all" if job.request.kind == "explain" else None
-            )
-
-            def runner(s: JobSpec) -> RunRecord:
-                return self.runner(
-                    s, trace_sink=sink, decision_sampling=sampling
-                )
-
-            # Inline: the bridge sink cannot cross a process boundary,
-            # and a cached record has no events to stream.
             sweep = run_batch(
                 [spec],
-                workers=0,
+                workers=1 if self.config.isolation else 0,
+                timeout_s=self.config.job_timeout_s,
                 retries=self.config.retries,
                 cache=self.cache,
                 read_cache=False,
-                runner=runner,
+                runner=self.runner,
+                trace_sink=sink,
+                decision_sampling=(
+                    "all" if job.request.kind == "explain" else None
+                ),
             )
         else:
             sweep = run_batch(
@@ -516,7 +529,7 @@ class RoutingService:
         self,
         job: Job,
         records: List[RunRecord],
-        sink: Optional[_LoopBridgeSink],
+        sink: Optional[CallbackSink],
     ) -> Dict[str, Any]:
         if job.request.kind == "compare":
             with_c, without_c = pair_records(records[0], records[1])
@@ -542,6 +555,15 @@ class RoutingService:
 
     # ---- loop side ---------------------------------------------------
     def _publish_event(self, job: Job, payload: Dict[str, Any]) -> None:
+        kind = payload.get("kind")
+        if kind == "metrics_snapshot":
+            # Transport control record: update the live view, keep it
+            # out of the replayable event stream (it is interval-based,
+            # so its count would vary run to run).
+            job.metrics_live = dict(payload.get("metrics") or {})
+            return
+        if kind == "progress_heartbeat":
+            job.last_heartbeat = payload
         job.events.append(payload)
         self.metrics.counter("service.events_streamed").inc(
             len(job.subscribers)
@@ -601,6 +623,8 @@ class RoutingService:
             return _respond(writer, 200, self._healthz())
         if path == "/stats" and method == "GET":
             return _respond(writer, 200, self._stats())
+        if path == "/metrics" and method == "GET":
+            return _respond_text(writer, 200, self._metrics_text())
         segments = path.lstrip("/").split("/")
         if len(segments) >= 2 and segments[0] == "jobs":
             job = self.jobs.get(segments[1])
@@ -616,7 +640,9 @@ class RoutingService:
                 return self._get_result(writer, job)
             if segments[2] == "events" and len(segments) == 3:
                 return await self._stream_events(writer, job)
-        allowed = path in ("/jobs", "/healthz", "/stats")
+            if segments[2] == "metrics" and len(segments) == 3:
+                return _respond(writer, 200, self._job_metrics(job))
+        allowed = path in ("/jobs", "/healthz", "/stats", "/metrics")
         status = 405 if allowed else 404
         return _respond(
             writer, status, {"error": f"{method} {path} unsupported"}
@@ -724,6 +750,42 @@ class RoutingService:
             ),
         }
 
+    def _metrics_text(self) -> str:
+        """Prometheus text exposition of the whole fleet's telemetry."""
+        self._set_queue_depth()
+        extra: Dict[str, float] = {}
+        if self.started_t:
+            extra["uptime_s"] = round(time.time() - self.started_t, 3)
+        if self.cache is not None:
+            for name, value in self.cache.stats().items():
+                if isinstance(value, (int, float)):
+                    extra[f"cache.{name}"] = value
+        for name, value in self.quotas.snapshot().items():
+            if isinstance(value, (int, float)):
+                extra[f"quota.{name}"] = value
+        with self._fleet_lock:
+            # "jobs." keeps router.*/negotiate.* families from
+            # colliding with same-named entries in self.metrics.
+            for name, value in self.fleet_metrics.items():
+                extra[f"jobs.{name}"] = value
+        return prometheus_exposition(self.metrics, extra_flat=extra)
+
+    def _job_metrics(self, job: Job) -> Dict[str, Any]:
+        """Live (relayed) + final metrics view of one job."""
+        final = None
+        if job.status == "done" and isinstance(job.result, dict):
+            record = job.result.get("record")
+            if isinstance(record, dict):
+                final = record.get("metrics")
+        return {
+            "schema": "repro-job-metrics/1",
+            "id": job.id,
+            "status": job.status,
+            "live": job.metrics_live,
+            "heartbeat": job.last_heartbeat,
+            "final": final,
+        }
+
 
 # ----------------------------------------------------------------------
 # HTTP plumbing
@@ -759,6 +821,20 @@ def _respond(
     if headers:
         all_headers.update(headers)
     _send_headers(writer, status, all_headers)
+    writer.write(body)
+
+
+def _respond_text(writer, status: int, text: str) -> None:
+    body = text.encode("utf-8")
+    _send_headers(
+        writer,
+        status,
+        {
+            # Prometheus text exposition format version 0.0.4.
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            "Content-Length": str(len(body)),
+        },
+    )
     writer.write(body)
 
 

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.events import (
     EVENT_KINDS,
+    FanoutSink,
     JsonlTraceSink,
     MemorySink,
     NULL_SINK,
@@ -124,6 +125,74 @@ class TestJsonlRoundTrip:
             for event in events:
                 sink.emit(event)
         assert path.read_text() == events_to_jsonl(events)
+
+
+class TestFanoutSink:
+    """Pins the mutation-during-emit contract: the subscriber list is
+    snapshotted per emission, so a subscriber may attach, detach, or die
+    from inside an emit callback without corrupting the broadcast."""
+
+    @staticmethod
+    def event(seq=1):
+        return TraceEvent(seq, 0.0, "reroute", {"net": "n"})
+
+    def test_subscribe_during_emit_sees_only_later_events(self):
+        fanout = FanoutSink()
+        late = MemorySink()
+
+        class SubscribingSink:
+            enabled = True
+            events = []
+
+            def emit(self, event):
+                self.events.append(event)
+                if late not in fanout._sinks:
+                    fanout.subscribe(late)
+
+        fanout.subscribe(SubscribingSink())
+        fanout.emit(self.event(1))
+        # attached mid-emit: must not receive the in-flight event...
+        assert late.events == []
+        fanout.emit(self.event(2))
+        # ...but does receive every later one.
+        assert [e.seq for e in late.events] == [2]
+
+    def test_unsubscribe_self_during_emit(self):
+        fanout = FanoutSink()
+        received = []
+
+        class OneShotSink:
+            enabled = True
+
+            def emit(self, event):
+                received.append(event.seq)
+                fanout.unsubscribe(self)
+
+        other = MemorySink()
+        fanout.subscribe(OneShotSink())
+        fanout.subscribe(other)
+        fanout.emit(self.event(1))
+        fanout.emit(self.event(2))
+        assert received == [1]
+        # the surviving subscriber saw both, in order
+        assert [e.seq for e in other.events] == [1, 2]
+
+    def test_raising_subscriber_is_dropped_not_fatal(self):
+        fanout = FanoutSink()
+
+        class Exploding:
+            enabled = True
+
+            def emit(self, event):
+                raise RuntimeError("dead consumer")
+
+        steady = MemorySink()
+        fanout.subscribe(Exploding())
+        fanout.subscribe(steady)
+        fanout.emit(self.event(1))
+        fanout.emit(self.event(2))
+        assert len(fanout) == 1
+        assert [e.seq for e in steady.events] == [1, 2]
 
 
 class TestEventVocabulary:

@@ -1,0 +1,305 @@
+"""Tests for the cross-process telemetry relay (repro.obs.relay).
+
+The cheap tests exercise the spool/tailer/stamping primitives directly;
+the pool tests route the real ``C1P1`` dataset through a real worker
+pool and compare the relayed stream against the inline one, and kill a
+worker mid-job to prove a truncated spool degrades instead of raising.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.bench.circuits import CircuitSpec, DatasetSpec, standard_suite
+from repro.bench.runner import RunRecord
+from repro.exec import JobSpec, run_batch
+from repro.exec.jobs import execute_job
+from repro.layout.placer import FeedStyle
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    SpoolSink,
+    SpoolTailer,
+    StampSink,
+    CallbackSink,
+    TraceEvent,
+    Tracer,
+    format_event_line,
+    read_spool,
+    stamp_event,
+)
+
+
+def make_events(n=3):
+    return [
+        TraceEvent(i + 1, 0.1 * i, "edge_deleted", {"net": f"n{i}"})
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Spool primitives
+# ----------------------------------------------------------------------
+class TestSpoolSink:
+    def test_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "job.ndjson"
+        sink = SpoolSink(path)
+        events = make_events()
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        back, bad = read_spool(path)
+        assert bad == 0
+        assert [(e.seq, e.kind, e.data) for e in back] == [
+            (e.seq, e.kind, e.data) for e in events
+        ]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = SpoolSink(tmp_path / "x.ndjson")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(make_events(1)[0])
+
+    def test_metrics_snapshots_interleaved(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("router.deletions").inc(7)
+        path = tmp_path / "m.ndjson"
+        # interval 0 => a snapshot piggybacks on every emit, plus close.
+        sink = SpoolSink(path, registry=registry, snapshot_interval_s=0.0)
+        sink.emit(make_events(1)[0])
+        sink.close()
+        events, bad = read_spool(path)
+        snaps = [e for e in events if e.kind == "metrics_snapshot"]
+        assert bad == 0
+        assert len(snaps) == 2  # one per emit + one at close
+        assert all(s.seq == 0 for s in snaps)
+        assert snaps[-1].data["metrics"]["router.deletions"] == 7
+
+    def test_missing_file_raises_only_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_spool(tmp_path / "absent.ndjson")
+
+
+class TestSpoolTailer:
+    def test_poll_before_creation_returns_nothing(self, tmp_path):
+        tailer = SpoolTailer(tmp_path / "later.ndjson")
+        assert tailer.poll() == []
+        assert tailer.bad_lines == 0
+
+    def test_incremental_polling_sees_appends(self, tmp_path):
+        path = tmp_path / "grow.ndjson"
+        sink = SpoolSink(path)
+        tailer = SpoolTailer(path)
+        first, second, third = make_events(3)
+        sink.emit(first)
+        assert [e.seq for e in tailer.poll()] == [first.seq]
+        sink.emit(second)
+        sink.emit(third)
+        assert [e.seq for e in tailer.poll()] == [second.seq, third.seq]
+        sink.close()
+        assert tailer.finish() == []
+        assert not tailer.truncated
+
+    def test_partial_trailing_line_buffered_until_complete(
+        self, tmp_path
+    ):
+        path = tmp_path / "partial.ndjson"
+        event = make_events(1)[0]
+        line = event.to_json() + "\n"
+        path.write_text(line + '{"seq": 2, "t"')
+        tailer = SpoolTailer(path)
+        assert [e.seq for e in tailer.poll()] == [1]
+        # the dangling half-line is not an error while still growing...
+        assert tailer.bad_lines == 0
+        # ...but is flagged as truncation once the stream is final.
+        tailer.finish()
+        assert tailer.truncated
+        assert tailer.bad_lines == 1
+
+    def test_garbage_lines_counted_not_raised(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        good = make_events(1)[0]
+        path.write_text(
+            "not json at all\n" + good.to_json() + "\n{}\n"
+        )
+        events, bad = read_spool(path)
+        assert [e.seq for e in events] == [1]
+        assert bad == 2
+
+
+# ----------------------------------------------------------------------
+# Context stamping
+# ----------------------------------------------------------------------
+class TestStamping:
+    def test_stamp_preserves_identity_adds_context(self):
+        event = TraceEvent(5, 1.25, "reroute", {"net": "n1"})
+        stamped = stamp_event(
+            event, run_id="r", job_id="j", worker=42
+        )
+        assert (stamped.seq, stamped.t_s, stamped.kind) == (5, 1.25, "reroute")
+        assert stamped.data == {
+            "net": "n1", "run_id": "r", "job_id": "j", "worker": 42,
+        }
+        assert event.data == {"net": "n1"}  # original untouched
+
+    def test_stamp_sink_forwards_and_close_is_noop(self):
+        memory = MemorySink()
+        stamp = StampSink(memory, run_id="r", job_id="j", worker="inline")
+        stamp.emit(make_events(1)[0])
+        stamp.close()
+        stamp.emit(make_events(1)[0])  # close() must not seal downstream
+        assert len(memory.events) == 2
+        assert memory.events[0].data["worker"] == "inline"
+
+    def test_callback_sink_keeps_copy_and_swallows_errors(self):
+        def explode(payload):
+            raise RuntimeError("subscriber died")
+
+        sink = CallbackSink(explode)
+        sink.emit(make_events(1)[0])  # must not raise
+        assert len(sink.events) == 1
+        assert sink.events[0]["kind"] == "edge_deleted"
+
+
+class TestFormatEventLine:
+    def test_heartbeat_renders_fields(self):
+        line = format_event_line({
+            "seq": 9, "t": 1.5, "kind": "progress_heartbeat",
+            "job_id": "C1P1.c.s3", "phase": "initial", "deletions": 50,
+            "key_evals": 1000,
+        })
+        assert "[C1P1.c.s3]" in line
+        assert "progress_heartbeat" in line
+        assert "phase=initial" in line
+        assert "deletions=50" in line
+
+    def test_metrics_snapshot_shows_count_not_dump(self):
+        line = format_event_line({
+            "t": 0.5, "kind": "metrics_snapshot",
+            "metrics": {"a": 1, "b": 2},
+        })
+        assert "2 metric(s)" in line
+
+    def test_unknown_kind_still_renders(self):
+        line = format_event_line({
+            "t": 0.1, "kind": "brand_new_kind", "detail": "x",
+        })
+        assert "brand_new_kind" in line
+        assert "detail=x" in line
+
+
+# ----------------------------------------------------------------------
+# Through the real pool
+# ----------------------------------------------------------------------
+def c1p1_spec():
+    dataset = {d.name: d for d in standard_suite()}["C1P1"]
+    return JobSpec(dataset=dataset, constrained=True, seed=3)
+
+
+def fault_spec(name):
+    return JobSpec(
+        DatasetSpec(
+            name,
+            CircuitSpec(
+                "F", n_gates=4, n_flops=0, n_inputs=1, n_outputs=1,
+                n_diff_pairs=0, seed=1,
+            ),
+            FeedStyle.EVEN,
+            n_constraints=0,
+        )
+    )
+
+
+def dying_traced_runner(spec, *, trace_sink=None, decision_sampling=None):
+    """Emits a few events, leaves a half-written line, dies like a
+    segfault (module-level: must be picklable for the pool)."""
+    tracer = Tracer.of(trace_sink)
+    tracer.emit("run_start", circuit=spec.dataset.name, nets=1,
+                constraints=0, engine="fake")
+    tracer.emit("phase_start", phase="setup")
+    tracer.emit("phase_end", phase="setup", wall_s=0.0)
+    if trace_sink is not None and getattr(trace_sink, "_fh", None):
+        trace_sink._fh.write('{"seq": 99, "t": 9.9, "kind": "phase_st')
+        trace_sink._fh.flush()
+    os._exit(9)
+
+
+class TestPoolRelay:
+    def test_pool_stream_matches_inline_kinds(self):
+        spec = c1p1_spec()
+        pool_sink, inline_sink = MemorySink(), MemorySink()
+        run_batch(
+            [spec], workers=2, runner=execute_job, trace_sink=pool_sink
+        )
+        run_batch(
+            [spec], workers=0, runner=execute_job,
+            trace_sink=inline_sink,
+        )
+        pool_kinds = Counter(
+            e.kind for e in pool_sink.events
+            if e.kind != "metrics_snapshot"
+        )
+        inline_kinds = Counter(e.kind for e in inline_sink.events)
+        assert pool_kinds == inline_kinds
+        assert "progress_heartbeat" in pool_kinds
+        # relayed events carry full schema-6 context
+        relayed = pool_sink.events[0].data
+        assert relayed["job_id"] == spec.job_id
+        assert isinstance(relayed["worker"], int)
+        inline = inline_sink.events[0].data
+        assert inline["worker"] == "inline"
+        # the worker's live registry crossed the boundary too
+        snaps = [
+            e for e in pool_sink.events if e.kind == "metrics_snapshot"
+        ]
+        assert snaps
+        assert snaps[-1].data["metrics"]["router.deletions"] > 0
+
+    def test_killed_worker_leaves_parseable_spool(self, tmp_path, capsys):
+        spool_dir = tmp_path / "spools"
+        parent_sink = MemorySink()
+        sweep = run_batch(
+            [fault_spec("die")], workers=1, retries=0,
+            runner=dying_traced_runner, trace_sink=parent_sink,
+            trace_spool_dir=spool_dir,
+        )
+        outcome = sweep.outcomes[0]
+        assert outcome.status == "failed"
+        # the complete lines written before death were still relayed
+        assert [e.kind for e in parent_sink.events] == [
+            "run_start", "phase_start", "phase_end",
+        ]
+        # the spool survives (explicit dir => no cleanup), truncated
+        # but parseable
+        assert outcome.spool_path is not None
+        events, bad = read_spool(outcome.spool_path)
+        assert [e.kind for e in events] == [
+            "run_start", "phase_start", "phase_end",
+        ]
+        assert bad == 1  # exactly the half-written final line
+
+        # and `trace summarize` warn-and-skips instead of dying
+        from repro.cli import main
+
+        rc = main(["trace", "summarize", str(outcome.spool_path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipped 1 malformed/truncated line(s)" in captured.err
+        assert "circuit die" in captured.out
+
+    def test_trace_tail_once_renders_spool(self, tmp_path, capsys):
+        path = tmp_path / "t.ndjson"
+        sink = SpoolSink(path)
+        sink.emit(TraceEvent(1, 0.0, "run_start", {"circuit": "X"}))
+        sink.emit(TraceEvent(2, 0.1, "run_end", {"deletions": 4}))
+        sink.close()
+        from repro.cli import main
+
+        rc = main(["trace", "tail", str(path), "--once"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2
+        assert "run_start" in lines[0] and "circuit=X" in lines[0]
+        assert "run_end" in lines[1] and "deletions=4" in lines[1]

@@ -9,8 +9,10 @@ NDJSON can be compared against an on-disk JSONL trace of the same run.
 
 import http.client
 import json
+import os
 import threading
 import time
+from collections import Counter
 
 import pytest
 
@@ -470,3 +472,110 @@ class TestDatasets:
             for name in known_datasets():
                 job = client.submit({"kind": "route", "dataset": name})
                 assert job["dataset"] == name
+
+
+class TestMetricsEndpoints:
+    def test_metrics_is_valid_prometheus_exposition(self, tmp_path):
+        import re
+
+        with ServiceThread(make_service(tmp_path)) as thread:
+            client = ServiceClient(thread.base_url)
+            job = client.submit({"kind": "route", "dataset": "S1P1"})
+            client.wait(job["id"], timeout_s=30)
+            status, headers, body = raw_request(
+                client, "GET", "/metrics"
+            )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        assert "# TYPE repro_service_jobs_submitted counter" in text
+        assert "repro_service_jobs_submitted 1" in text
+        assert "# TYPE repro_cache_entries gauge" in text
+        name = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+        sample = re.compile(
+            rf'^{name}(\{{quantile="[0-9.]+"\}})? '
+            r"(-?[0-9.eE+-]+|NaN|\+Inf)$"
+        )
+        for line in text.strip().splitlines():
+            assert line.startswith("# TYPE ") or sample.match(line), line
+
+    def test_job_metrics_endpoint_shape(self, tmp_path):
+        with ServiceThread(make_service(tmp_path)) as thread:
+            client = ServiceClient(thread.base_url)
+            job = client.submit({"kind": "route", "dataset": "S1P1"})
+            client.wait(job["id"], timeout_s=30)
+            payload = client.job_metrics(job["id"])
+        assert payload["schema"] == "repro-job-metrics/1"
+        assert payload["id"] == job["id"]
+        assert payload["status"] == "done"
+        assert "live" in payload and "heartbeat" in payload
+        assert payload["final"] == {}  # fake records carry no metrics
+
+    def test_job_metrics_unknown_job_is_404(self, tmp_path):
+        with ServiceThread(make_service(tmp_path)) as thread:
+            client = ServiceClient(thread.base_url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.job_metrics("nope")
+            assert excinfo.value.status == 404
+
+
+class TestTracedJobsThroughPool:
+    """The relay acceptance path: a traced service job executes in a
+    real worker subprocess (crash-isolated, timeout-enforced) and its
+    events stream back live with full schema-6 context."""
+
+    def test_traced_job_with_isolation_streams_relayed_events(
+        self, tmp_path
+    ):
+        from repro.exec.jobs import execute_job
+
+        service = RoutingService(
+            ServiceConfig(port=0, workers=1, isolation=True),
+            cache=ResultCache(tmp_path / "cache"),
+            runner=execute_job,
+        )
+        with ServiceThread(service) as thread:
+            client = ServiceClient(thread.base_url)
+            job = client.submit({
+                "kind": "route", "dataset": "S1P1", "trace": True,
+            })
+            streamed = list(client.events(job["id"]))
+            status = client.wait(job["id"], timeout_s=60)
+            live = client.job_metrics(job["id"])
+        assert status["status"] == "done"
+        kinds = [e["kind"] for e in streamed]
+        assert "run_start" in kinds and "run_end" in kinds
+        assert "progress_heartbeat" in kinds
+        # control records are filtered out of the replayable stream...
+        assert "metrics_snapshot" not in kinds
+        # ...but land in the live metrics view
+        assert live["live"].get("router.deletions", 0) > 0
+        assert live["heartbeat"] is not None
+        assert live["final"]["router.deletions"] > 0
+        # every event is stamped with relay context; the worker is a
+        # real subprocess, not the service process
+        for event in streamed:
+            assert event["job_id"].startswith("S1P1.c.")
+            assert isinstance(event["worker"], int)
+            assert event["worker"] != os.getpid()
+
+    def test_traced_job_same_kinds_as_inline(self, tmp_path):
+        from repro.exec.jobs import execute_job
+
+        kinds = {}
+        for label, isolation in (("pool", True), ("inline", False)):
+            service = RoutingService(
+                ServiceConfig(port=0, workers=1, isolation=isolation),
+                cache=ResultCache(tmp_path / f"cache-{label}"),
+                runner=execute_job,
+            )
+            with ServiceThread(service) as thread:
+                client = ServiceClient(thread.base_url)
+                job = client.submit({
+                    "kind": "route", "dataset": "S1P1", "trace": True,
+                })
+                streamed = list(client.events(job["id"]))
+                assert client.wait(job["id"])["status"] == "done"
+            kinds[label] = Counter(e["kind"] for e in streamed)
+        assert kinds["pool"] == kinds["inline"]
