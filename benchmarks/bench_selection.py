@@ -21,9 +21,14 @@ checks the ISSUE's headline acceptance bars on the largest design
 clock than the rescan engine — the rescan path *is* the pre-vectorized
 seed selection loop, so the same-process wall ratio is the
 machine-noise-robust form of "5× over the pre-PR snapshot".
-``--scale-smoke`` routes the 10× generated design (X1P1, incremental
-engine only — no rescan, which would take minutes) and fails if the
-wall clock exceeds ``--scale-ceiling`` seconds.
+``--scale-smoke`` exercises the scale tier: X1P1 routes twice — once
+under the reference full-Tarjan reclassification and once under the
+incremental bridge-maintenance path — asserting bit-identical deletion
+sequences and lengths, gating a ≥3× reduction in the share of wall
+clock spent reclassifying, and failing if either route exceeds
+``--scale-ceiling`` seconds; then the 100× design (X2P1, incremental
+reclassify only) must route under ``--scale-x2-ceiling`` seconds with
+local bridge recomputes covering ≥90% of its deletions.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.bench.circuits import (
 )
 from repro.core import GlobalRouter, RouterConfig
 from repro.obs import MemorySink
+from repro.routegraph.graph import RoutingGraph
 
 LARGEST = "C3P1"
 REQUIRED_SPEEDUP = 5.0
@@ -50,6 +56,19 @@ REQUIRED_WALL_SPEEDUP = 5.0
 # box; shared runners are slower and noisy, the gate is against
 # quadratic blow-ups (pre-PR the same route took minutes), not drift.
 SCALE_CEILING_S = 120.0
+# The 100x design under incremental reclassify: ~19-20 min on a warm
+# dev box (42k deletions; reclassification is down to a ~6% wall share
+# — it would dominate under the reference per-deletion full Tarjan),
+# same noise allowance philosophy as SCALE_CEILING_S.
+SCALE_X2_CEILING_S = 3600.0
+# Same-process A/B on X1P1: the share of route wall spent in
+# reclassify() must drop at least this much going from the reference
+# full-Tarjan path to incremental bridge maintenance.  A share ratio is
+# robust to machine speed (both numerator and denominator scale).
+REQUIRED_RECLASSIFY_SHARE_REDUCTION = 3.0
+# At scale, nearly every deletion must stay on the local path; full
+# fallbacks are the defensive escape hatch, not a steady state.
+REQUIRED_LOCAL_RATIO = 0.90
 
 
 def route_once(spec, engine):
@@ -84,7 +103,22 @@ def route_once(spec, engine):
         "vectorized_batches": int(
             flat.get("router.vectorized_batches", 0)
         ),
+        "reclassify_wall_s": float(
+            flat.get("graph.reclassify_s.total", 0.0)
+        ),
+        "local_recomputes": int(
+            flat.get("graph.bridge_local_recomputes", 0)
+        ),
+        "full_fallbacks": int(
+            flat.get("graph.bridge_full_fallbacks", 0)
+        ),
     }
+
+
+def local_ratio(run):
+    """Share of instrumented reclassifications answered locally."""
+    calls = run["local_recomputes"] + run["full_fallbacks"]
+    return run["local_recomputes"] / max(1, calls)
 
 
 def compare_design(spec):
@@ -157,6 +191,12 @@ def snapshot_entry(rescan, incremental):
         "wall_s_rescan": round(rescan["wall_s"], 4),
         "wall_s_incremental": round(incremental["wall_s"], 4),
         "wall_speedup": round(wall_speedup(rescan, incremental), 3),
+        "reclassify_wall_s": round(
+            incremental["reclassify_wall_s"], 4
+        ),
+        "local_recomputes": incremental["local_recomputes"],
+        "full_fallbacks": incremental["full_fallbacks"],
+        "local_recompute_ratio": round(local_ratio(incremental), 4),
     }
 
 
@@ -164,31 +204,109 @@ def wall_speedup(rescan, incremental):
     return rescan["wall_s"] / max(1e-9, incremental["wall_s"])
 
 
-def scale_smoke(ceiling_s):
-    """Route the 10x generated design under a wall-time ceiling.
+def route_reclassify_mode(spec, incremental_reclassify):
+    """route_once under a pinned reclassification path."""
+    previous = RoutingGraph.incremental_reclassify
+    RoutingGraph.incremental_reclassify = incremental_reclassify
+    try:
+        return route_once(spec, "incremental")
+    finally:
+        RoutingGraph.incremental_reclassify = previous
 
-    Incremental engine only: the point is catching accidental
+
+def scale_smoke(ceiling_s, x2_ceiling_s):
+    """Route the scale-tier designs under wall-time ceilings.
+
+    Incremental selection engine only: the point is catching accidental
     quadratics at scale (slot scans, placement repacks, wholesale
     re-analysis), not engine equivalence — the small/standard suites
-    already pin that down bit-exactly.
+    already pin that down bit-exactly.  X1P1 additionally routes under
+    *both* reclassification paths in the same process, which (a)
+    re-asserts the bit-identity contract at scale and (b) gates the
+    headline reduction of reclassification wall share as a
+    machine-speed-robust ratio.  X2P1 then routes once, incremental
+    reclassify only — the reference path at 20× is exactly the
+    quadratic this PR removes.
     """
-    spec = next(s for s in scale_suite() if s.name == "X1P1")
+    specs = {s.name: s for s in scale_suite()}
+    failures = []
+
+    spec = specs["X1P1"]
     print(f"scale-tier smoke: {spec.name} (ceiling {ceiling_s:.0f}s)")
-    run = route_once(spec, "incremental")
+    reference = route_reclassify_mode(spec, False)
+    run = route_reclassify_mode(spec, True)
+    for label, r in (("reference", reference), ("incremental", run)):
+        print(
+            f"{spec.name:6s} [{label:11s}] dels {r['deletions']:5d}  "
+            f"wall {r['wall_s']:6.2f}s  "
+            f"reclassify {r['reclassify_wall_s']:6.2f}s "
+            f"({r['reclassify_wall_s'] / max(1e-9, r['wall_s']):5.1%})  "
+            f"local {r['local_recomputes']}  "
+            f"fallbacks {r['full_fallbacks']}"
+        )
+    if run["sequence"] != reference["sequence"]:
+        failures.append(
+            f"{spec.name}: incremental reclassify changed the deletion "
+            "sequence"
+        )
+    if run["total_length_um"] != reference["total_length_um"]:
+        failures.append(
+            f"{spec.name}: incremental reclassify changed the reported "
+            f"length ({run['total_length_um']} vs "
+            f"{reference['total_length_um']})"
+        )
+    share_ref = reference["reclassify_wall_s"] / max(
+        1e-9, reference["wall_s"]
+    )
+    share_inc = run["reclassify_wall_s"] / max(1e-9, run["wall_s"])
+    reduction = share_ref / max(1e-9, share_inc)
+    print(
+        f"{spec.name:6s} reclassify wall share "
+        f"{share_ref:5.1%} -> {share_inc:5.1%}  ({reduction:.1f}x lower)"
+    )
+    if reduction < REQUIRED_RECLASSIFY_SHARE_REDUCTION:
+        failures.append(
+            f"{spec.name}: reclassify wall share reduced only "
+            f"{reduction:.2f}x (required "
+            f"{REQUIRED_RECLASSIFY_SHARE_REDUCTION:.0f}x)"
+        )
+    for label, r in (("reference", reference), ("incremental", run)):
+        if r["wall_s"] > ceiling_s:
+            failures.append(
+                f"{spec.name} ({label}): wall {r['wall_s']:.1f}s exceeds "
+                f"the {ceiling_s:.0f}s ceiling"
+            )
+
+    spec = specs["X2P1"]
+    print(f"scale-tier smoke: {spec.name} (ceiling {x2_ceiling_s:.0f}s)")
+    run = route_reclassify_mode(spec, True)
+    ratio = local_ratio(run)
     print(
         f"{spec.name:6s} dels {run['deletions']:5d}  "
         f"wall {run['wall_s']:6.2f}s  "
-        f"vec-rows {run['vectorized_rows']}  "
-        f"vec-batches {run['vectorized_batches']}"
+        f"reclassify {run['reclassify_wall_s']:6.2f}s  "
+        f"local-ratio {ratio:5.1%}"
     )
-    if run["wall_s"] > ceiling_s:
-        print(
-            f"FAIL: {spec.name} wall {run['wall_s']:.1f}s exceeds the "
-            f"{ceiling_s:.0f}s ceiling",
-            file=sys.stderr,
+    if run["wall_s"] > x2_ceiling_s:
+        failures.append(
+            f"{spec.name}: wall {run['wall_s']:.1f}s exceeds the "
+            f"{x2_ceiling_s:.0f}s ceiling"
         )
+    if ratio < REQUIRED_LOCAL_RATIO:
+        failures.append(
+            f"{spec.name}: local recomputes cover only {ratio:.1%} of "
+            f"reclassifications (required {REQUIRED_LOCAL_RATIO:.0%})"
+        )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("ok: scale design routed under the wall ceiling")
+    print(
+        "ok: scale designs routed under the wall ceilings, bit-identical "
+        "reclassification, share reduction and local ratio within bars"
+    )
     return 0
 
 
@@ -213,6 +331,14 @@ def main(argv=None):
         f"(default {SCALE_CEILING_S:.0f}s)",
     )
     parser.add_argument(
+        "--scale-x2-ceiling",
+        type=float,
+        metavar="SECONDS",
+        default=SCALE_X2_CEILING_S,
+        help="wall-time ceiling for the 20x design in --scale-smoke "
+        f"(default {SCALE_X2_CEILING_S:.0f}s)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -222,7 +348,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.scale_smoke:
-        return scale_smoke(args.scale_ceiling)
+        return scale_smoke(args.scale_ceiling, args.scale_x2_ceiling)
 
     suite = small_suite() if args.smoke else standard_suite()
     failures = []

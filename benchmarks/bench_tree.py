@@ -82,6 +82,15 @@ def route_once(spec, engine):
         "key_recomputes": int(flat.get("router.key_recomputes", 0)),
         # Share of all tree requests answered without a full Dijkstra.
         "fastpath_hit_rate": fastpath / max(1, requests),
+        "reclassify_wall_s": float(
+            flat.get("graph.reclassify_s.total", 0.0)
+        ),
+        "local_recomputes": int(
+            flat.get("graph.bridge_local_recomputes", 0)
+        ),
+        "full_fallbacks": int(
+            flat.get("graph.bridge_full_fallbacks", 0)
+        ),
     }
 
 
@@ -178,6 +187,20 @@ def snapshot_entry(full, incremental):
         "wall_s_incremental": round(incremental["wall_s"], 4),
         "wall_speedup": round(
             full["wall_s"] / max(1e-9, incremental["wall_s"]), 3
+        ),
+        "reclassify_wall_s": round(
+            incremental["reclassify_wall_s"], 4
+        ),
+        "local_recomputes": incremental["local_recomputes"],
+        "full_fallbacks": incremental["full_fallbacks"],
+        "local_recompute_ratio": round(
+            incremental["local_recomputes"]
+            / max(
+                1,
+                incremental["local_recomputes"]
+                + incremental["full_fallbacks"],
+            ),
+            4,
         ),
     }
 

@@ -8,9 +8,10 @@ the CLI exits non-zero — the CI regression gate.  Supported inputs:
   (critical delay, total length, deletions, violations), the
   ``router.peak_density_total`` gauge, and per-phase wall times
   (report-only by default — wall clocks are noisy in CI);
-* **bench snapshots** (``repro-bench-selection/2``, written by
+* **bench snapshots** (``repro-bench-selection/3``, written by
   ``benchmarks/bench_selection.py --json``): per-design key-evals per
-  deletion, vectorized-core batch counts, and wall time;
+  deletion, vectorized-core batch counts, reclassification wall time
+  and local-recompute ratio, and wall time;
 * optionally, two **traces** alongside the manifests: the first
   ``edge_deleted`` divergence point (report-only — two seeds *should*
   diverge) and per-channel ``C_M``/``C_m`` deltas from the final
@@ -24,8 +25,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.manifest import MANIFEST_SCHEMA
 
-BENCH_SELECTION_SCHEMA = "repro-bench-selection/2"
-BENCH_TREE_SCHEMA = "repro-bench-tree/2"
+BENCH_SELECTION_SCHEMA = "repro-bench-selection/3"
+BENCH_TREE_SCHEMA = "repro-bench-tree/3"
 BENCH_NEGOTIATION_SCHEMA = "repro-bench-negotiation/1"
 
 
@@ -408,7 +409,7 @@ def diff_bench(
             thresholds.max_evals_pct,
         )
         # Vectorized-core batch counts are exact routing invariants
-        # (schema /2): growth means rows are being re-refreshed that the
+        # (schema /3): growth means rows are being re-refreshed that the
         # dirty-signature tracking used to skip — a perf regression even
         # when wall clocks stay quiet, so gate like key-evals.
         _gate_pct(
@@ -431,6 +432,13 @@ def diff_bench(
             new_row.get("wall_s_incremental"),
             thresholds.max_wall_pct,
         )
+        _gate_pct(
+            diff, f"{design}.reclassify_wall_s",
+            old_row.get("reclassify_wall_s"),
+            new_row.get("reclassify_wall_s"),
+            thresholds.max_wall_pct,
+        )
+        _gate_local_ratio(diff, design, old_row, new_row)
         _gate_delta(
             diff, f"{design}.wall_speedup",
             old_row.get("wall_speedup"), new_row.get("wall_speedup"),
@@ -447,6 +455,39 @@ def diff_bench(
             f"designs missing from new snapshot: {', '.join(missing)}"
         )
     return diff
+
+
+def _gate_local_ratio(
+    diff: RunDiff,
+    design: str,
+    old_row: Dict[str, Any],
+    new_row: Dict[str, Any],
+) -> None:
+    """Gate the share of reclassifications answered locally.
+
+    Local/fallback counts are exact routing invariants (schema /3), so
+    the ratio must not drop below the snapshot (small slack absorbs the
+    snapshot's 4-decimal rounding): a drop means deletions are falling
+    back to the full-Tarjan path that the incremental maintenance
+    exists to avoid — a perf regression even when wall clocks stay
+    quiet.
+    """
+    old = old_row.get("local_recompute_ratio")
+    new = new_row.get("local_recompute_ratio")
+    if old is None or new is None:
+        return
+    old = float(old)
+    new = float(new)
+    line = DiffLine(
+        f"{design}.local_recompute_ratio", old, new, delta=new - old
+    )
+    if new < old - 0.01:
+        line.failed = True
+        diff.failures.append(
+            f"{design}.local_recompute_ratio dropped "
+            f"{old:.4f} -> {new:.4f}"
+        )
+    diff.lines.append(line)
 
 
 def diff_bench_tree(
@@ -486,6 +527,13 @@ def diff_bench_tree(
             new_row.get("wall_s_incremental"),
             thresholds.max_wall_pct,
         )
+        _gate_pct(
+            diff, f"{design}.reclassify_wall_s",
+            old_row.get("reclassify_wall_s"),
+            new_row.get("reclassify_wall_s"),
+            thresholds.max_wall_pct,
+        )
+        _gate_local_ratio(diff, design, old_row, new_row)
         _gate_delta(
             diff, f"{design}.wall_speedup",
             old_row.get("wall_speedup"), new_row.get("wall_speedup"),

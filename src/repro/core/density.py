@@ -149,7 +149,14 @@ class DensityEngine:
         self._apply(edge, -weight, self.d_max)
 
     def add_bridge(self, edge: RouteEdge, weight: int = 1) -> None:
-        """Count a newly essential trunk edge in ``d_m``."""
+        """Count a newly essential trunk edge in ``d_m``.
+
+        Fed from ``DeletionResult.newly_essential`` after each deletion.
+        Both reclassification paths (incremental bridge maintenance and
+        the full-Tarjan reference) report the same *set* of newly
+        essential edges, and ``_apply`` is a commutative per-column add,
+        so the ``d_m`` profile is independent of reporting order.
+        """
         self._apply(edge, weight, self.d_min)
 
     def remove_bridge(self, edge: RouteEdge, weight: int = 1) -> None:

@@ -211,6 +211,19 @@ class GlobalRouter:
         self._m_tree_traversals = self.metrics.counter(
             "router.tree_traversals"
         )
+        # Reclassify observability (attached to every graph this router
+        # builds; see RoutingGraph.instrument).  local/full split plus
+        # frontier size answer "is the localized path actually carrying
+        # the deletions?" without tracing.
+        self._m_graph_local = self.metrics.counter(
+            "graph.bridge_local_recomputes"
+        )
+        self._m_graph_fallbacks = self.metrics.counter(
+            "graph.bridge_full_fallbacks"
+        )
+        self._m_graph_frontier = self.metrics.counter(
+            "graph.prune_frontier_vertices"
+        )
         self._phase_stack: List[str] = []
         # Decision explainability: both candidate engines record the
         # outcome of each select() here (when tracing), and the deletion
@@ -441,17 +454,29 @@ class GlobalRouter:
             return sorted(nets, key=lambda n: (-span(n), n.name))
         raise RoutingError(f"unknown assignment order {order!r}")
 
+    def _instrument_graph(self, graph: RoutingGraph) -> RoutingGraph:
+        """Attach this router's reclassify counters/timer to a graph."""
+        graph.instrument(
+            local_recomputes=self._m_graph_local,
+            full_fallbacks=self._m_graph_fallbacks,
+            frontier_vertices=self._m_graph_frontier,
+            timer=partial(self.metrics.timer, "graph.reclassify_s"),
+        )
+        return graph
+
     def _build_routing_graphs(self) -> None:
         contexts = NetTimingContext.build_all(
             self.circuit.routable_nets,
             self.constraint_graphs if self.config.timing_driven else [],
         )
         for net in self.circuit.routable_nets:
-            graph = build_routing_graph(
-                net,
-                self.placement,
-                self.assignment.of_net(net),
-                self.config.technology,
+            graph = self._instrument_graph(
+                build_routing_graph(
+                    net,
+                    self.placement,
+                    self.assignment.of_net(net),
+                    self.config.technology,
+                )
             )
             state = _NetState(net, graph)
             state.context = contexts[net.name]
@@ -947,11 +972,13 @@ class GlobalRouter:
 
         for member in members:
             self._unregister_density(member)
-            member.graph = build_routing_graph(
-                member.net,
-                self.placement,
-                self.assignment.of_net(member.net),
-                self.config.technology,
+            member.graph = self._instrument_graph(
+                build_routing_graph(
+                    member.net,
+                    self.placement,
+                    self.assignment.of_net(member.net),
+                    self.config.technology,
+                )
             )
             self._register_density(member)
             self._refresh_tree(member)

@@ -5,6 +5,11 @@ A thin adapter: :meth:`route` delegates to
 bit-identical to the seed (the equivalence suites pin this down).  The
 adapter exists so every caller — CLI, bench runner, service — selects
 engines uniformly through :func:`repro.engines.make_engine`.
+
+Deletions issued through this engine take the graph's incremental
+reclassification path (:attr:`RoutingGraph.incremental_reclassify`);
+the bit-identity pin therefore also covers the incremental bridge
+maintenance against the reference full-Tarjan recompute.
 """
 
 from __future__ import annotations

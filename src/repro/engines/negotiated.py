@@ -516,6 +516,13 @@ class NegotiatedEngine(RoutingEngine):
                 if graph.alive[edge.index] and edge.index not in tree:
                     graph.alive[edge.index] = False
                     pruned_total += 1
+            # Direct alive mutation bypasses the graph's incremental
+            # bookkeeping on purpose: reclassify() detects the alive-set
+            # change against its mirror and rebuilds the bridge
+            # decomposition from scratch — and when a net's negotiated
+            # tree already equals its alive set (nothing pruned above),
+            # the no-op reclassify keeps the CSR caches warm for the
+            # _refresh_tree below.
             graph.reclassify()
             router._register_density(state)
             router._refresh_tree(state)

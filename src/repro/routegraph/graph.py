@@ -27,13 +27,42 @@ edges may be deleted.  We classify with respect to terminal connectivity:
 The fixed point of deletion — every alive edge essential — is a tree
 spanning all terminal vertices whose leaves are terminals: exactly the
 paper's required interconnection wiring.
+
+Classification is maintained **incrementally**: alongside the alive sets
+the graph keeps its 2-edge-connected-component decomposition (the bridge
+forest rooted at the driver), so :meth:`RoutingGraph.delete` only
+re-searches bridges inside the one component the deleted edge belonged
+to, and prunes by walking a frontier out from the deletion site instead
+of rescanning every vertex.  Deletion can only *create* bridges (it
+never merges components), so flags outside the affected component are
+untouched.  The classic full pass — prune everything unreachable, strip
+pendant subtrees, fresh driver-rooted Tarjan — remains the reference
+path: :meth:`reclassify` runs it wholesale (that is also the contract
+for callers that flip ``alive`` flags directly, like the negotiated
+engine's finalizer — mutate, then ``reclassify()``), and ``delete``
+falls back to it whenever the local bookkeeping cannot vouch for the
+affected region.  Both paths produce bit-identical alive/essential
+state, pruned sets, and lengths; ``incremental_reclassify = False``
+pins a graph (or the class) to the reference path for A/B measurement.
 """
 
 from __future__ import annotations
 
 import enum
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -51,6 +80,23 @@ class EdgeKind(enum.Enum):
     CORRESPONDENCE = "correspondence"
     TRUNK = "trunk"
     BRANCH = "branch"
+
+
+class _NullCounter:
+    """Do-nothing stand-in so uninstrumented graphs pay one attribute
+    lookup and a no-op call per event (mirrors the tree engine)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+
+def _null_timer() -> ContextManager[None]:
+    return nullcontext()
 
 
 @dataclass(frozen=True)
@@ -113,7 +159,10 @@ class DeletionResult:
     ``removed`` lists every edge that left the graph (the deleted edge
     plus any pruned stranded fragment); ``newly_essential`` lists edges
     that were deletable before and are now guaranteed wiring.  The router
-    uses both to update the density profiles incrementally.
+    uses both to update the density profiles incrementally.  ``removed``
+    always starts with the deleted edge; the order of the pruned tail is
+    an implementation detail (density updates commute and the tree
+    engine treats it as a set), so equivalence checks compare it as one.
     """
 
     deleted: int
@@ -123,6 +172,14 @@ class DeletionResult:
 
 class RoutingGraph:
     """Mutable routing graph of one net with live classification."""
+
+    #: Class-wide switch for the incremental delete path.  ``False``
+    #: pins every deletion to the reference full reclassify (prune +
+    #: fresh Tarjan) — the pre-optimization behaviour — for A/B
+    #: benchmarks and property tests.  Deliberately *not* a
+    #: :class:`~repro.core.config.RouterConfig` knob: both paths are
+    #: bit-identical, so the choice must never enter batch cache keys.
+    incremental_reclassify: bool = True
 
     def __init__(
         self,
@@ -151,6 +208,52 @@ class RoutingGraph:
             Tuple[List[int], List[int], List[int], List[float]]
         ] = None
         self._alive_length: Optional[float] = None
+        # Terminals never change after construction; every prune and
+        # bridge search shares this one frozenset.
+        self._terminal_set: frozenset = frozenset(self.terminal_vertices)
+        # Fixed-order length ledger: the per-edge lengths never change,
+        # so the alive sum is a masked fold over this array (see
+        # total_alive_length_um).
+        self._lengths: np.ndarray = np.fromiter(
+            (e.length_um for e in self.edges),
+            dtype=np.float64,
+            count=len(self.edges),
+        )
+        # Alive flags as of the last reclassification — lets
+        # reclassify() detect both its own pruning and direct external
+        # mutation, and skip cache invalidation when nothing changed.
+        self._alive_mirror: np.ndarray = np.ones(
+            len(self.edges), dtype=bool
+        )
+        # 2ECC decomposition (rebuilt by every full reclassify, patched
+        # by the incremental delete path):
+        #   _degree[v]        alive degree of vertex v
+        #   _comp[v]          component id (-1 for dead vertices)
+        #   _comp_size[c]     alive vertices in component c
+        #   _comp_anchor[c]   entry vertex of c (nearest the driver)
+        #   _comp_entry[c]    the bridge edge toward the driver (-1 for
+        #                     the driver's own component)
+        #   _hang_tcount[v]   terminals hanging below v through bridges
+        #                     whose near endpoint is v
+        self._degree: List[int] = [0] * len(self.vertices)
+        self._comp: List[int] = [-1] * len(self.vertices)
+        self._comp_size: Dict[int, int] = {}
+        self._comp_anchor: Dict[int, int] = {}
+        self._comp_entry: Dict[int, int] = {}
+        self._hang_tcount: Dict[int, int] = {}
+        # Monotone component-id source; never reset, so stale ids on
+        # dead vertices can never collide with live ones.
+        self._next_comp = 0
+        # Defensive only: set when the decomposition cannot vouch for
+        # the graph (it never fires in practice — pendant pruning
+        # preserves connectivity — but if it does, every delete falls
+        # back to the reference full pass until a reclassify clears it).
+        self._stranded = False
+        # Observability (router-attached; no-ops by default).
+        self._m_local = _NULL_COUNTER
+        self._m_fallbacks = _NULL_COUNTER
+        self._m_frontier = _NULL_COUNTER
+        self._timer: Callable[[], ContextManager[None]] = _null_timer
         self._check_initial()
         # Initial cleanup: prune fragments that can never serve the net
         # (e.g. the unused side of a single-point channel) and classify.
@@ -162,8 +265,7 @@ class RoutingGraph:
             raise RoutingGraphError(
                 f"net {self.net.name}: driver vertex is not a terminal"
             )
-        term_set = set(self.terminal_vertices)
-        if len(term_set) != len(self.terminal_vertices):
+        if len(self._terminal_set) != len(self.terminal_vertices):
             raise RoutingGraphError(
                 f"net {self.net.name}: duplicate terminal vertices"
             )
@@ -172,6 +274,31 @@ class RoutingGraph:
                 raise RoutingGraphError(
                     f"net {self.net.name}: vertex {t} is not terminal-kind"
                 )
+
+    def instrument(
+        self,
+        *,
+        local_recomputes=None,
+        full_fallbacks=None,
+        frontier_vertices=None,
+        timer: Optional[Callable[[], ContextManager[None]]] = None,
+    ) -> None:
+        """Attach router-owned counters/timer to the reclassify paths.
+
+        ``local_recomputes`` counts deletions handled by the localized
+        path, ``full_fallbacks`` deletions that ran the reference full
+        reclassify, ``frontier_vertices`` vertices visited by localized
+        prune walks, and ``timer`` wraps every reclassification (both
+        paths) — the ``graph.reclassify_s`` histogram.
+        """
+        if local_recomputes is not None:
+            self._m_local = local_recomputes
+        if full_fallbacks is not None:
+            self._m_fallbacks = full_fallbacks
+        if frontier_vertices is not None:
+            self._m_frontier = frontier_vertices
+        if timer is not None:
+            self._timer = timer
 
     # ------------------------------------------------------------------
     # Queries
@@ -208,10 +335,13 @@ class RoutingGraph:
         arrays.  Neighbour order matches :meth:`neighbours` (ascending
         edge index per vertex), so graph walks over either
         representation break ties identically.  The arrays are cached
-        and rebuilt lazily after any deletion/reclassification — batch
-        consumers (vectorized density/criteria evaluation, the
-        negotiated engine's cost maps) index them directly, while
-        scalar graph walks use the :meth:`csr_lists` mirror.
+        and rebuilt lazily after a deletion or a reclassification that
+        actually changed the alive set — a no-op :meth:`reclassify`
+        keeps them, so the tree engine's CSR survives wholesale
+        re-checks of already-converged graphs.  Batch consumers
+        (vectorized density/criteria evaluation, the negotiated
+        engine's cost maps) index them directly, while scalar graph
+        walks use the :meth:`csr_lists` mirror.
         """
         if self._csr is None:
             indptr, nbr_vertex, nbr_edge, nbr_length = self.csr_lists()
@@ -294,24 +424,335 @@ class RoutingGraph:
             raise RoutingGraphError(
                 f"edge {edge_id} is essential and cannot be deleted"
             )
-        self.alive[edge_id] = False
-        result = DeletionResult(deleted=edge_id, removed=[edge_id])
-        pruned, newly_essential = self.reclassify()
-        result.removed.extend(pruned)
-        result.newly_essential.extend(newly_essential)
-        return result
+        if self._stranded or not self.incremental_reclassify:
+            # Reference mode, or the decomposition cannot vouch for the
+            # graph: classic full pass (prune + fresh Tarjan).
+            self._m_fallbacks.inc()
+            self.alive[edge_id] = False
+            result = DeletionResult(deleted=edge_id, removed=[edge_id])
+            pruned, newly_essential = self.reclassify()
+            result.removed.extend(pruned)
+            result.newly_essential.extend(newly_essential)
+            return result
+        with self._timer():
+            return self._delete_incremental(edge_id)
 
-    def reclassify(self) -> Tuple[List[int], List[int]]:
-        """Prune unreachable fragments and refresh essential flags.
+    def _delete_incremental(self, edge_id: int) -> DeletionResult:
+        """Localized deletion: frontier prune + in-component Tarjan.
 
-        Returns ``(pruned_edge_ids, newly_essential_edge_ids)``.
+        Deleting a *non-bridge* edge perturbs exactly one 2ECC — the
+        pendant cascade from its endpoints can only consume that
+        component's own vertices plus terminal-free trees hanging off
+        them (multi-vertex 2ECCs have internal degree ≥ 2, so the
+        cascade stops at their boundary), and new bridges can only
+        appear inside it.  Deleting a non-essential *bridge* detaches a
+        terminal-free fragment — exactly what the reference
+        ``_prune_unreachable`` would discover with its full scan — and
+        changes no flags at all.  Either way the rest of the graph is
+        provably untouched, so flags, component labels and hang counts
+        elsewhere stay as they are.
         """
         self._csr = None
         self._csr_lists = None
         self._alive_length = None
+        edge = self.edges[edge_id]
+        self._kill_edge(edge_id)
+        result = DeletionResult(deleted=edge_id, removed=[edge_id])
+        removed = result.removed
+        frontier = 0
+        cu, cv = self._comp[edge.u], self._comp[edge.v]
+        local_comp = -1
+        if cu == cv:
+            seeds: Tuple[int, ...] = (edge.u, edge.v)
+            local_comp = cu
+        else:
+            # A (non-essential) bridge: the component it was the
+            # driver-ward entry of is now a terminal-free fragment.
+            if self._comp_entry.get(cu) == edge_id:
+                far = edge.u
+            elif self._comp_entry.get(cv) == edge_id:
+                far = edge.v
+            else:
+                # Bookkeeping cannot name the far side — repair with
+                # the reference full pass (counted as a fallback).
+                self._m_fallbacks.inc()
+                pruned, newly = self._reclassify_full()
+                removed.extend(pruned)
+                result.newly_essential.extend(newly)
+                return result
+            frontier += self._drop_fragment(far, removed)
+            seeds = (edge.other(far),)
+        stranded_comps, eaten = self._pendant_cascade(seeds, removed)
+        frontier += eaten
+        detached = {
+            c for c in stranded_comps if self._comp_size.get(c, 0) > 0
+        }
+        if detached:
+            # A fragment survived losing its bridge to the driver.
+            # Unreachable by construction (pendant pruning preserves
+            # connectivity), but if bookkeeping ever disagrees, route
+            # every later delete through the reference path, which
+            # prunes it the way a fresh reclassify would.
+            self._stranded = True
+        if (
+            local_comp >= 0
+            and local_comp not in detached
+            and self._comp_size.get(local_comp, 0) > 1
+        ):
+            result.newly_essential.extend(
+                self._local_bridge_refresh(local_comp)
+            )
+        self._m_local.inc()
+        if frontier:
+            self._m_frontier.inc(frontier)
+        return result
+
+    def _kill_edge(self, edge_id: int) -> None:
+        self.alive[edge_id] = False
+        self._alive_mirror[edge_id] = False
+        edge = self.edges[edge_id]
+        self._degree[edge.u] -= 1
+        self._degree[edge.v] -= 1
+
+    def _kill_vertex(self, vertex: int) -> None:
+        self.vertex_alive[vertex] = False
+        c = self._comp[vertex]
+        if c >= 0:
+            self._comp_size[c] -= 1
+
+    def _drop_fragment(self, far: int, removed: List[int]) -> int:
+        """Kill everything reachable from ``far`` (the detached side of
+        a deleted bridge); returns the number of vertices visited.
+
+        Ascending-vertex kill order matches the reference
+        ``_prune_unreachable`` scan, so the pruned edge order is
+        identical too.
+        """
+        adjacency = self._adjacency
+        alive = self.alive
+        edges = self.edges
+        seen = {far}
+        stack = [far]
+        while stack:
+            v = stack.pop()
+            for edge_id in adjacency[v]:
+                if not alive[edge_id]:
+                    continue
+                w = edges[edge_id].other(v)
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        for t in self.terminal_vertices:
+            if t in seen:
+                raise RoutingGraphError(
+                    f"net {self.net.name}: terminal vertex {t} disconnected"
+                )
+        for v in sorted(seen):
+            self._kill_vertex(v)
+            for edge_id in adjacency[v]:
+                if alive[edge_id]:
+                    self._kill_edge(edge_id)
+                    removed.append(edge_id)
+        return len(seen)
+
+    def _pendant_cascade(
+        self, seeds: Sequence[int], removed: List[int]
+    ) -> Tuple[Set[int], int]:
+        """Strip pendant non-terminal vertices outward from ``seeds``.
+
+        The localized form of ``_prune_terminal_free_subtrees``: only
+        the deletion site can have created new pendants, so the walk
+        starts there instead of scanning every vertex.  Iterated leaf
+        removal is confluent, so the pruned set is identical to the
+        full scan's.  Returns the component ids whose driver-ward
+        bridge was consumed (stranding candidates) and the number of
+        vertices eaten.
+        """
+        terminal_set = self._terminal_set
+        degree = self._degree
+        vertex_alive = self.vertex_alive
+        adjacency = self._adjacency
+        alive = self.alive
+        edges = self.edges
+        comp = self._comp
+        comp_entry = self._comp_entry
+        queue = [
+            v
+            for v in seeds
+            if vertex_alive[v] and degree[v] <= 1 and v not in terminal_set
+        ]
+        stranded: Set[int] = set()
+        eaten = 0
+        while queue:
+            v = queue.pop()
+            if not vertex_alive[v]:
+                continue
+            self._kill_vertex(v)
+            eaten += 1
+            for edge_id in adjacency[v]:
+                if not alive[edge_id]:
+                    continue
+                self._kill_edge(edge_id)
+                removed.append(edge_id)
+                w = edges[edge_id].other(v)
+                cw = comp[w]
+                if cw != comp[v]:
+                    # A bridge died with the pruned leaf; whichever side
+                    # it was the entry of may now be detached.
+                    if comp_entry.get(cw) == edge_id:
+                        stranded.add(cw)
+                    elif comp_entry.get(comp[v]) == edge_id:
+                        stranded.add(comp[v])
+                    else:
+                        self._stranded = True
+                if (
+                    vertex_alive[w]
+                    and degree[w] <= 1
+                    and w not in terminal_set
+                ):
+                    queue.append(w)
+        return stranded, eaten
+
+    def _local_bridge_refresh(self, comp_id: int) -> List[int]:
+        """Tarjan restricted to one 2ECC after it lost an edge.
+
+        Rooted at the component's anchor (its driver-ward entry vertex),
+        with per-vertex *effective* terminal counts: a vertex counts
+        itself if terminal, plus every terminal hanging below it through
+        pre-existing bridges (``_hang_tcount``).  A new bridge is
+        essential iff its far-side effective count is positive — the
+        near side always reaches the driver, a terminal.  New bridges
+        split the component; the far pieces get fresh ids with the
+        bridge as entry, and the near endpoint inherits the far side's
+        terminal weight in its hang count.  Returns newly essential
+        edge ids in ascending order (the reference scan's order).
+        """
+        anchor = self._comp_anchor[comp_id]
+        if not self.vertex_alive[anchor]:
+            # Anchor gone but members remain — detached component the
+            # cascade bookkeeping missed; defer to the full path.
+            self._stranded = True
+            return []
+        adjacency = self._adjacency
+        alive = self.alive
+        edges = self.edges
+        comp = self._comp
+        terminal_set = self._terminal_set
+        hang = self._hang_tcount
+
+        disc: Dict[int, int] = {anchor: 0}
+        low: Dict[int, int] = {anchor: 0}
+        teff: Dict[int, int] = {
+            anchor: (1 if anchor in terminal_set else 0)
+            + hang.get(anchor, 0)
+        }
+        timer = 1
+        # (edge_id, child, parent, far-side effective terminals)
+        bridges: List[Tuple[int, int, int, int]] = []
+        stack: List[Tuple[int, int, Iterator[int]]] = [
+            (anchor, -1, iter(adjacency[anchor]))
+        ]
+        while stack:
+            vertex, parent_edge, it = stack[-1]
+            advanced = False
+            for edge_id in it:
+                if not alive[edge_id] or edge_id == parent_edge:
+                    continue
+                w = edges[edge_id].other(vertex)
+                if comp[w] != comp_id:
+                    continue
+                if w not in disc:
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    teff[w] = (
+                        1 if w in terminal_set else 0
+                    ) + hang.get(w, 0)
+                    stack.append((w, edge_id, iter(adjacency[w])))
+                    advanced = True
+                    break
+                if disc[w] < low[vertex]:
+                    low[vertex] = disc[w]
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                pvertex = stack[-1][0]
+                if low[vertex] < low[pvertex]:
+                    low[pvertex] = low[vertex]
+                if low[vertex] > disc[pvertex]:
+                    bridges.append(
+                        (parent_edge, vertex, pvertex, teff[vertex])
+                    )
+                teff[pvertex] += teff[vertex]
+        newly: List[int] = []
+        if not bridges:
+            return newly
+        bridge_ids = {b[0] for b in bridges}
+        # Pop order is leaf-to-root, so inner split pieces are labelled
+        # before the enclosing ones and each vertex is relabelled once.
+        for edge_id, child, parent, subtree_t in bridges:
+            new_id = self._next_comp
+            self._next_comp += 1
+            comp[child] = new_id
+            self._comp_anchor[new_id] = child
+            self._comp_entry[new_id] = edge_id
+            size = 1
+            stack2 = [child]
+            while stack2:
+                v = stack2.pop()
+                for eid in adjacency[v]:
+                    if not alive[eid] or eid in bridge_ids:
+                        continue
+                    w = edges[eid].other(v)
+                    if comp[w] != comp_id:
+                        continue
+                    comp[w] = new_id
+                    size += 1
+                    stack2.append(w)
+            self._comp_size[new_id] = size
+            self._comp_size[comp_id] -= size
+            if subtree_t > 0:
+                self.essential[edge_id] = True
+                newly.append(edge_id)
+                self._hang_tcount[parent] = (
+                    self._hang_tcount.get(parent, 0) + subtree_t
+                )
+        newly.sort()
+        return newly
+
+    def reclassify(self) -> Tuple[List[int], List[int]]:
+        """Prune unreachable fragments and refresh essential flags.
+
+        The reference full pass: global reach from the driver, pendant
+        strip, fresh Tarjan — and a rebuild of the incremental
+        decomposition from the result.  Callers that flip ``alive``
+        flags directly (the negotiated engine's finalizer) must call
+        this afterwards; the alive-set change is detected against the
+        mirror kept from the last classification, and the CSR/length
+        caches are only invalidated when the alive set actually
+        changed.
+
+        Returns ``(pruned_edge_ids, newly_essential_edge_ids)``.
+        """
+        with self._timer():
+            return self._reclassify_full()
+
+    def _reclassify_full(self) -> Tuple[List[int], List[int]]:
+        n_edges = len(self.edges)
+        entry_mask = np.fromiter(self.alive, dtype=bool, count=n_edges)
+        externally_changed = not np.array_equal(
+            entry_mask, self._alive_mirror
+        )
         pruned = self._prune_unreachable()
         pruned.extend(self._prune_terminal_free_subtrees())
         newly_essential = self._refresh_essential()
+        if externally_changed or pruned:
+            self._csr = None
+            self._csr_lists = None
+            self._alive_length = None
+            self._alive_mirror = np.fromiter(
+                self.alive, dtype=bool, count=n_edges
+            )
         return pruned, newly_essential
 
     def _prune_unreachable(self) -> List[int]:
@@ -340,7 +781,7 @@ class RoutingGraph:
         subtrees so they stop polluting the density profiles.
         """
         removed: List[int] = []
-        terminal_set = set(self.terminal_vertices)
+        terminal_set = self._terminal_set
         degrees = [0] * len(self.vertices)
         for edge in self.alive_edges():
             degrees[edge.u] += 1
@@ -376,13 +817,17 @@ class RoutingGraph:
         separates two terminals.  After pruning, every bridge has at least
         one terminal on each side *unless* it hangs a terminal-free cycle
         component — rare, but handled by counting terminals per subtree.
+        The same pass collects *every* bridge (terminal-separating or
+        not) plus per-subtree terminal counts, which seed the rebuild of
+        the incremental 2ECC decomposition.
         """
         n = len(self.vertices)
         disc = [-1] * n
         low = [0] * n
         tcount = [0] * n
-        terminal_set = set(self.terminal_vertices)
+        terminal_set = self._terminal_set
         bridges: List[int] = []
+        all_bridges: List[Tuple[int, int]] = []  # (edge_id, far vertex)
         timer = 0
 
         start = self.driver_vertex
@@ -417,8 +862,10 @@ class RoutingGraph:
                 pvertex, _, _ = stack[-1]
                 low[pvertex] = min(low[pvertex], low[vertex])
                 tcount[pvertex] += tcount[vertex]
-                if low[vertex] > disc[pvertex] and tcount[vertex] > 0:
-                    bridges.append(parent_edge)
+                if low[vertex] > disc[pvertex]:
+                    all_bridges.append((parent_edge, vertex))
+                    if tcount[vertex] > 0:
+                        bridges.append(parent_edge)
 
         newly_essential: List[int] = []
         bridge_set = set(bridges)
@@ -430,7 +877,68 @@ class RoutingGraph:
             if now and not self.essential[edge.index]:
                 newly_essential.append(edge.index)
             self.essential[edge.index] = now
+        self._rebuild_decomposition(tcount, all_bridges)
         return newly_essential
+
+    def _rebuild_decomposition(
+        self, tcount: List[int], all_bridges: List[Tuple[int, int]]
+    ) -> None:
+        """Derive degrees, 2ECC labels, the bridge forest and hang
+        counts from a completed full Tarjan pass."""
+        n = len(self.vertices)
+        alive = self.alive
+        degree = [0] * n
+        for edge in self.edges:
+            if alive[edge.index]:
+                degree[edge.u] += 1
+                degree[edge.v] += 1
+        self._degree = degree
+        comp = [-1] * n
+        self._comp = comp
+        self._comp_size = {}
+        self._comp_anchor = {}
+        self._comp_entry = {}
+        hang: Dict[int, int] = {}
+        for edge_id, child in all_bridges:
+            t = tcount[child]
+            if t > 0:
+                parent = self.edges[edge_id].other(child)
+                hang[parent] = hang.get(parent, 0) + t
+        self._hang_tcount = hang
+        bridge_ids = {edge_id for edge_id, _ in all_bridges}
+        start = self.driver_vertex
+        root = self._next_comp
+        self._next_comp += 1
+        comp[start] = root
+        self._comp_anchor[root] = start
+        self._comp_entry[root] = -1
+        self._comp_size[root] = 1
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for edge_id in self._adjacency[v]:
+                if not alive[edge_id]:
+                    continue
+                w = self.edges[edge_id].other(v)
+                if comp[w] != -1:
+                    continue
+                if edge_id in bridge_ids:
+                    c = self._next_comp
+                    self._next_comp += 1
+                    self._comp_anchor[c] = w
+                    self._comp_entry[c] = edge_id
+                    self._comp_size[c] = 1
+                else:
+                    c = comp[v]
+                    self._comp_size[c] += 1
+                comp[w] = c
+                stack.append(w)
+        # Anything alive the driver cannot reach means the graph was
+        # mutated in a way the full pass should have pruned — never the
+        # case today, but stay safe rather than mislabel.
+        self._stranded = any(
+            self.vertex_alive[v] and comp[v] == -1 for v in range(n)
+        )
 
     # ------------------------------------------------------------------
     def final_wiring(self) -> List[RouteEdge]:
@@ -444,17 +952,28 @@ class RoutingGraph:
     def total_alive_length_um(self) -> float:
         """Summed alive-edge length, cached between mutations.
 
-        The sum runs in ascending edge-index order (the same fold as
-        the uncached genexpr it replaces) so the cached value is
-        bit-identical to a fresh recomputation; the cache drops on
-        every :meth:`reclassify`.  ``_phase_metric`` calls this for
-        every net on every reroute decision, so the cache turns an
+        A fixed-order ledger: the fold always runs over ascending edge
+        index, left to right — ``np.add.accumulate`` over the masked
+        length array performs the identical sequence of IEEE-754
+        additions as the seed's Python ``sum`` over :meth:`alive_edges`
+        (strictly sequential; ``np.sum``'s pairwise reassociation would
+        drift), so the value is bit-identical no matter which phase
+        asks or how the graph reached this alive set.  The cache drops
+        only when the alive set changes.  ``_phase_metric`` calls this
+        for every net on every reroute decision, so the cache turns an
         O(nets × edges) rescan into an O(nets) lookup.
         """
         if self._alive_length is None:
-            self._alive_length = sum(
-                e.length_um for e in self.alive_edges()
+            mask = np.fromiter(
+                self.alive, dtype=bool, count=len(self.alive)
             )
+            lengths = self._lengths[mask]
+            if lengths.size == 0:
+                self._alive_length = 0
+            else:
+                self._alive_length = float(
+                    np.add.accumulate(lengths)[-1]
+                )
         return self._alive_length
 
     def __repr__(self) -> str:

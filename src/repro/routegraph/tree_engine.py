@@ -23,7 +23,11 @@ the evaluation incremental while guaranteeing **bit-identical lengths**:
   scalar mirror of the cached :meth:`RoutingGraph.csr` arrays), flat
   parallel lists that preserve per-vertex ascending-edge-index order,
   so heap contents and parallel-edge tie-breaks match the reference
-  walk exactly.
+  walk exactly.  Invalidation contract: the graph drops both mirrors
+  on every :meth:`RoutingGraph.delete` and on any
+  :meth:`RoutingGraph.reclassify` that actually changed the alive set
+  (external mutation or pruning); a no-op reclassify keeps them warm,
+  so repeated refreshes between deletions never pay a rebuild.
 
 The union backtrace itself is shared with the reference estimator
 (:func:`collect_union`), so the ``edge_ids`` set is built through the

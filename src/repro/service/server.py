@@ -25,8 +25,8 @@ because the point is the serving semantics, not a web framework:
   (``service.*`` counters/gauges), queue depth, cache occupancy.
 * ``GET /metrics`` — Prometheus text exposition: ``service.*``
   counters/gauges/histograms (with p50/p90/p99 quantiles), fleet-merged
-  per-job ``router.*``/``negotiate.*`` counters (``jobs.*`` prefix),
-  cache occupancy, queue depth.
+  per-job ``router.*``/``graph.*``/``negotiate.*`` counters
+  (``jobs.*`` prefix), cache occupancy, queue depth.
 
 Execution rides the PR 2 batch engine: every job attempt goes through
 :func:`~repro.exec.pool.run_batch` (crash isolation, per-job timeout,
@@ -186,7 +186,8 @@ class RoutingService:
         self.jobs: Dict[str, Job] = {}          # by public id
         self.jobs_by_key: Dict[str, Job] = {}   # latest job per job key
         # Fleet totals: every computed job's final record.metrics merged
-        # (merge_flat) — the router.*/negotiate.* families on /metrics.
+        # (merge_flat) — the router.*/graph.*/negotiate.* families on
+        # /metrics.
         # Written from worker threads, read from the loop: lock-guarded.
         self.fleet_metrics: Dict[str, float] = {}
         self._fleet_lock = threading.Lock()

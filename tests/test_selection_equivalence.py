@@ -11,6 +11,11 @@ AREA-mode deletion loop.
 These tests route every design twice, so they are the slowest in the
 suite (~1 min total); they are the acceptance gate for
 ``RouterConfig.selection_engine`` and must not be skipped casually.
+
+Both engines here run under the default incremental graph
+reclassification; ``tests/test_reclassify_equivalence.py`` is the
+companion suite pinning that axis (incremental vs full-Tarjan
+reclassify) to the same bit-identity bar.
 """
 
 import pytest

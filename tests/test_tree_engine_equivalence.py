@@ -10,6 +10,11 @@ standalone AREA-mode deletion loop.
 These tests route every design twice, so they are slow; they are the
 acceptance gate for ``RouterConfig.tree_engine`` and must not be
 skipped casually.
+
+Both engines here run under the default incremental graph
+reclassification; ``tests/test_reclassify_equivalence.py`` is the
+companion suite pinning that axis (incremental vs full-Tarjan
+reclassify) to the same bit-identity bar.
 """
 
 import pytest
